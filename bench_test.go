@@ -1,0 +1,299 @@
+package energysched
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (go test -bench=.). Table/figure benchmarks run
+// a complete datacenter simulation per iteration on a one-day
+// calibrated trace (the full-week numbers live in EXPERIMENTS.md and
+// are produced by the cmd/ tools); ablation benchmarks isolate the
+// design decisions called out in DESIGN.md; micro benchmarks cover
+// the hot paths (event engine, credit allocator, score solver).
+
+import (
+	"testing"
+
+	"energysched/internal/cluster"
+	"energysched/internal/core"
+	"energysched/internal/datacenter"
+	"energysched/internal/dvfs"
+	"energysched/internal/economics"
+	"energysched/internal/experiments"
+	"energysched/internal/metrics"
+	"energysched/internal/policy"
+	"energysched/internal/power"
+	"energysched/internal/simkit"
+	"energysched/internal/vm"
+	"energysched/internal/workload"
+	"energysched/internal/xen"
+)
+
+var benchTrace = func() *workload.Trace {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Horizon = 24 * 3600
+	return workload.MustGenerate(cfg)
+}()
+
+// runBench executes one full simulation and reports the paper metrics
+// alongside the timing.
+func runBench(b *testing.B, mk func() datacenter.Config) {
+	b.Helper()
+	var rep metrics.Report
+	for i := 0; i < b.N; i++ {
+		sim, err := datacenter.New(mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err = sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.EnergyKWh, "kWh")
+	b.ReportMetric(rep.Satisfaction, "S%")
+	b.ReportMetric(float64(rep.Migrations), "migrations")
+	b.ReportMetric(rep.AvgOnline, "nodesON")
+}
+
+// cfgFor builds a per-iteration config factory. mk runs once per
+// iteration: policies are stateful (round-robin cursors, drain
+// cooldowns, solver statistics) and must never be shared across runs.
+func cfgFor(mk func() policy.Policy, lmin, lmax float64) func() datacenter.Config {
+	return func() datacenter.Config {
+		return datacenter.Config{
+			Trace:     benchTrace,
+			Policy:    mk(),
+			LambdaMin: lmin,
+			LambdaMax: lmax,
+			Seed:      1,
+		}
+	}
+}
+
+// --- Table II: static policies without migration ---
+
+func BenchmarkTableII_RD(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return policy.NewRandom(1) }, 30, 90))
+}
+
+func BenchmarkTableII_RR(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return policy.NewRoundRobin() }, 30, 90))
+}
+
+func BenchmarkTableII_BF(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return policy.NewBackfilling() }, 30, 90))
+}
+
+func BenchmarkTableII_SB0(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(core.SB0Config()) }, 30, 90))
+}
+
+// --- Table III: virtualization-overhead ablation ---
+
+func BenchmarkTableIII_SB1(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(core.SB1Config()) }, 30, 90))
+}
+
+func BenchmarkTableIII_SB2(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(core.SB2Config()) }, 30, 90))
+}
+
+func BenchmarkTableIII_SB2_Lambda4090(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(core.SB2Config()) }, 40, 90))
+}
+
+// --- Table IV: migration policies ---
+
+func BenchmarkTableIV_DBF(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return policy.NewDynamicBackfilling() }, 30, 90))
+}
+
+func BenchmarkTableIV_SB(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(core.SBConfig()) }, 30, 90))
+}
+
+func BenchmarkTableIV_SB_Lambda4090(b *testing.B) {
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(core.SBConfig()) }, 40, 90))
+}
+
+// --- Table V: consolidation-cost sweep ---
+
+func benchTableV(b *testing.B, ce, cf float64) {
+	cfg := core.SBConfig()
+	cfg.Cempty = ce
+	cfg.Cfill = cf
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(cfg) }, 30, 90))
+}
+
+func BenchmarkTableV_Ce0_Cf40(b *testing.B)   { benchTableV(b, 0, 40) }
+func BenchmarkTableV_Ce20_Cf40(b *testing.B)  { benchTableV(b, 20, 40) }
+func BenchmarkTableV_Ce60_Cf100(b *testing.B) { benchTableV(b, 60, 100) }
+
+// --- Table I and Figure 1: the measurement substrate ---
+
+func BenchmarkTableI_PowerMeasurement(b *testing.B) {
+	var rows []experiments.PowerRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableI()
+	}
+	b.ReportMetric(rows[0].MeasuredWatts, "W@100%CPU")
+	b.ReportMetric(rows[len(rows)-1].MeasuredWatts, "W@idle")
+}
+
+func BenchmarkFig1_Validation(b *testing.B) {
+	var v experiments.ValidationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		v, err = experiments.Validation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(v.ErrorPct, "totalErr%")
+	b.ReportMetric(v.InstMeanErr, "instErrW")
+}
+
+// --- Figures 2 and 3: λ sweep (one representative column per bench
+// iteration keeps the full-grid cost out of -bench=. runs; the cmd/
+// sweep tool produces the complete surface) ---
+
+func BenchmarkFig2Fig3_LambdaColumn(b *testing.B) {
+	cfg := experiments.SweepConfig{
+		LambdaMins: []float64{10, 30, 50, 70},
+		LambdaMaxs: []float64{90},
+		Policy:     "SB",
+	}
+	var points []experiments.SweepPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.LambdaSweep(cfg, benchTrace)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].PowerKWh, "kWh@λmin10")
+	b.ReportMetric(points[len(points)-1].PowerKWh, "kWh@λmin70")
+	b.ReportMetric(points[len(points)-1].Satisfaction, "S%@λmin70")
+}
+
+// --- Ablations of DESIGN.md's design decisions ---
+
+// Thrash model off: overcommit becomes free and the random baseline
+// stops collapsing — quantifies how much of RD's penalty is thrash.
+func BenchmarkAblationThrashOff_RD(b *testing.B) {
+	runBench(b, func() datacenter.Config {
+		c := cfgFor(func() policy.Policy { return policy.NewRandom(1) }, 30, 90)()
+		c.ThrashFactor = -1
+		return c
+	})
+}
+
+// Migration hysteresis sweep: gain 0 lets float-level score noise
+// move VMs; the default 35 keeps only structural drains.
+func benchAblationGain(b *testing.B, gain float64) {
+	cfg := core.SBConfig()
+	cfg.MigrationGainMin = gain
+	runBench(b, cfgFor(func() policy.Policy { return core.MustScheduler(cfg) }, 30, 90))
+}
+
+func BenchmarkAblationMigrationGain1(b *testing.B)  { benchAblationGain(b, 1) }
+func BenchmarkAblationMigrationGain35(b *testing.B) { benchAblationGain(b, 35) }
+func BenchmarkAblationMigrationGain80(b *testing.B) { benchAblationGain(b, 80) }
+
+// Housekeeping cadence: a 5-minute tick vs the default 1-minute tick
+// (fewer scheduling rounds, slower turn-off reaction).
+func BenchmarkAblationTick300(b *testing.B) {
+	runBench(b, func() datacenter.Config {
+		c := cfgFor(func() policy.Policy { return core.MustScheduler(core.SBConfig()) }, 30, 90)()
+		c.TickInterval = 300
+		return c
+	})
+}
+
+// --- micro benchmarks on the hot paths ---
+
+func BenchmarkXenAllocate(b *testing.B) {
+	demands := make([]xen.Demand, 16)
+	for i := range demands {
+		demands[i] = xen.Demand{Weight: float64(128 + i*32), Want: float64(50 + i*25), Cap: 400}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		xen.Allocate(400, demands)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := simkit.NewEngine()
+		for j := 0; j < 1000; j++ {
+			at := float64(j % 97)
+			e.Schedule(at, func() {})
+		}
+		e.RunAll()
+	}
+}
+
+func BenchmarkScoreSolverRound(b *testing.B) {
+	// One scheduling round over 100 hosts × 64 candidate VMs.
+	cls := cluster.MustNew(cluster.PaperClasses())
+	for _, n := range cls.Nodes {
+		n.State = cluster.On
+	}
+	var queue []*vm.VM
+	for i := 0; i < 64; i++ {
+		queue = append(queue, vm.New(i, vm.Requirements{CPU: float64(100 * (1 + i%4)), Mem: 5}, 0, 3600, 7200))
+	}
+	ctx := &policy.Context{Now: 0, Cluster: cls, Queue: queue, LambdaMin: 0.3, LambdaMax: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch := core.MustScheduler(core.SBConfig())
+		sch.Schedule(ctx)
+	}
+}
+
+// --- extensions: adaptive thresholds, DVFS governors, economics ---
+
+// Dynamic λ (the paper's future-work threshold adjustment) vs the
+// static balanced setting.
+func BenchmarkExtensionAdaptiveLambda(b *testing.B) {
+	runBench(b, func() datacenter.Config {
+		c := cfgFor(func() policy.Policy { return core.MustScheduler(core.SBConfig()) }, 30, 90)()
+		c.AdaptiveTarget = 98
+		return c
+	})
+}
+
+// The same workload on a fleet pinned to the performance governor —
+// quantifies the §II DVFS context.
+func BenchmarkExtensionGovernorPerformance(b *testing.B) {
+	classes := cluster.PaperClasses()
+	for i := range classes {
+		classes[i].Power = dvfs.Wrap(power.PaperTableI(), dvfs.Performance{})
+	}
+	runBench(b, func() datacenter.Config {
+		c := cfgFor(func() policy.Policy { return core.MustScheduler(core.SBConfig()) }, 30, 90)()
+		c.Classes = classes
+		return c
+	})
+}
+
+// Provider profit of one full run (revenue − energy cost).
+func BenchmarkExtensionEconomics(b *testing.B) {
+	var profit float64
+	for i := 0; i < b.N; i++ {
+		sim, err := datacenter.New(cfgFor(func() policy.Policy { return core.MustScheduler(core.SBConfig()) }, 30, 90)())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := economics.DefaultTariff().Evaluate(sim.VMs(), rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profit = out.Profit
+	}
+	b.ReportMetric(profit, "profit")
+}

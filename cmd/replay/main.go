@@ -1,0 +1,72 @@
+// Command replay renders a simulation event log (JSONL, produced by
+// energysim -events) as an ASCII timeline: one lane per node, showing
+// boot/idle/occupancy/failure over the run — the quickest way to *see*
+// consolidation happen.
+//
+//	energysim -days 1 -events run.jsonl
+//	replay -events run.jsonl -width 120
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"energysched/internal/datacenter"
+	"energysched/internal/timeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("replay: ")
+
+	var (
+		eventsIn = flag.String("events", "", "JSONL event log (required; - = stdin)")
+		width    = flag.Int("width", 100, "chart width in time buckets")
+	)
+	flag.Parse()
+	if *eventsIn == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *eventsIn != "-" {
+		f, err := os.Open(*eventsIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var events []datacenter.Event
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e datacenter.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			log.Fatalf("line %d: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	tl, err := timeline.FromEvents(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tl.Render(*width))
+	fmt.Printf("fleet on-time utilization: %.1f %%\n", tl.Utilization(*width)*100)
+	fmt.Println("legend: '.' off  '%' booting  '_' idle  1-9/'+' hosted VMs  'X' failed")
+}

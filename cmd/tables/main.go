@@ -1,0 +1,88 @@
+// Command tables regenerates the paper's result tables (II–V) on the
+// calibrated synthetic Grid week:
+//
+//	Table II  — static policies without migration (RD, RR, BF, SB0)
+//	Table III — score-variant ablation (SB0, SB1, SB2, SB2 @ λ 40-90)
+//	Table IV  — migration policies (DBF, SB, SB @ λ 40-90)
+//	Table V   — consolidation-cost sweep (Ce/Cf = 0/40, 20/40, 60/100)
+//
+//	tables            # all four tables
+//	tables -table 4   # just Table IV
+//	tables -days 1    # quick run on a one-day trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"energysched/internal/experiments"
+	"energysched/internal/metrics"
+	"energysched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+
+	var (
+		table    = flag.Int("table", 0, "table number to run (0 = all of II–V)")
+		days     = flag.Float64("days", 7, "days of synthetic workload")
+		seed     = flag.Int64("seed", 1, "random seed (single-run mode)")
+		replicas = flag.Int("replicas", 1, "replicate each row over this many seeds and report mean ± 95% CI")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Horizon = *days * 24 * 3600
+	cfg.Seed = *seed
+
+	runs := []struct {
+		num    int
+		title  string
+		makers []experiments.SpecMaker
+	}{
+		{2, "Table II — scheduling results of policies without migration", experiments.TableIIMakers()},
+		{3, "Table III — score-based policies without migration", experiments.TableIIIMakers()},
+		{4, "Table IV — scheduling results of policies with migration", experiments.TableIVMakers()},
+		{5, "Table V — score-based scheduling with different costs", experiments.TableVMakers()},
+	}
+
+	if *replicas > 1 {
+		fmt.Printf("replicating each row over %d seeded weeks\n", *replicas)
+		for _, r := range runs {
+			if *table != 0 && *table != r.num {
+				continue
+			}
+			fmt.Printf("\n%s\n", r.title)
+			rows, err := experiments.ReplicateTable(r.makers, cfg, experiments.Seeds(*replicas))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, row := range rows {
+				fmt.Println(row)
+			}
+		}
+		return
+	}
+
+	trace, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs, %.1f CPU-hours\n", trace.Len(), trace.TotalCPUHours())
+	for _, r := range runs {
+		if *table != 0 && *table != r.num {
+			continue
+		}
+		fmt.Printf("\n%s\n", r.title)
+		fmt.Println(metrics.TableHeader())
+		for _, m := range r.makers {
+			row, err := experiments.RunSpec(m.Make(), trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(row)
+		}
+	}
+}

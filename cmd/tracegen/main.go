@@ -1,0 +1,67 @@
+// Command tracegen generates a synthetic Grid5000-like workload trace
+// (the calibrated stand-in for the week the paper evaluates on) and
+// writes it as CSV, suitable for energysim -trace.
+//
+//	tracegen -days 7 -seed 1 -o week.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"energysched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		days    = flag.Float64("days", 7, "trace length in days")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jobs    = flag.Float64("jobs-per-day", 0, "override baseline arrivals per day (0 = calibrated default)")
+		bursts  = flag.Float64("burst-prob", -1, "override burst probability (negative = default)")
+		out     = flag.String("o", "", "output file (empty = stdout)")
+		summary = flag.Bool("summary", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Horizon = *days * 24 * 3600
+	cfg.Seed = *seed
+	if *jobs > 0 {
+		cfg.JobsPerDay = *jobs
+	}
+	if *bursts >= 0 {
+		cfg.BurstProb = *bursts
+	}
+	trace, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := workload.WriteCSV(w, trace); err != nil {
+		log.Fatal(err)
+	}
+	if *summary {
+		s := trace.Summarize()
+		fmt.Fprintf(os.Stderr,
+			"jobs %d | %.1f CPU-h | mean %.0f%% CPU, %.1f mem | mean runtime %.0f s (max %.0f) | span %.2f d\n",
+			s.Jobs, s.CPUHours, s.MeanCPU, s.MeanMem, s.MeanRuntime, s.MaxRuntime, s.Span/86400)
+	}
+}

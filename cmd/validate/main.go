@@ -1,0 +1,81 @@
+// Command validate regenerates the simulator-validation artifacts of
+// §IV: Table I (virtualized server power usage) and Figure 1 (real vs
+// simulated power over the 7-task 1300 s workload, with the total and
+// instantaneous error statistics the paper reports).
+//
+//	validate             # both Table I and Fig. 1 summary
+//	validate -fig1 trace.csv  # also dump the 1 Hz traces for plotting
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"energysched/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+
+	var (
+		fig1Out = flag.String("fig1", "", "write the 1 Hz real/simulated power traces to this CSV")
+		skipT1  = flag.Bool("no-table1", false, "skip Table I")
+	)
+	flag.Parse()
+
+	if !*skipT1 {
+		fmt.Println("Table I — virtualized server power usage")
+		fmt.Printf("%-22s %10s %12s\n", "configuration", "paper (W)", "measured (W)")
+		for _, r := range experiments.TableI() {
+			fmt.Printf("%-22s %10.0f %12.1f\n", r.Config, r.PaperWatts, r.MeasuredWatts)
+		}
+		fmt.Println()
+	}
+
+	v, err := experiments.Validation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 1 — simulator validation (7 tasks, 1300 s)")
+	fmt.Printf("  real total       %7.1f Wh   (paper: 99.9 ± 1.8 Wh)\n", v.RealWh)
+	fmt.Printf("  simulated total  %7.1f Wh   (paper: 97.5 Wh)\n", v.SimWh)
+	fmt.Printf("  total error      %7.1f %%    (paper: −2.4 %%)\n", v.ErrorPct)
+	fmt.Printf("  instantaneous    %7.2f W mean, %.2f W stddev (paper: 8.62, 8.06)\n",
+		v.InstMeanErr, v.InstStddev)
+
+	if *fig1Out != "" {
+		f, err := os.Create(*fig1Out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		cw := csv.NewWriter(f)
+		if err := cw.Write([]string{"time_s", "real_w", "sim_w"}); err != nil {
+			log.Fatal(err)
+		}
+		for i := range v.Real {
+			rec := []string{
+				strconv.FormatFloat(v.Real[i].Time, 'f', 0, 64),
+				strconv.FormatFloat(v.Real[i].Watts, 'f', 2, 64),
+				strconv.FormatFloat(v.Sim[i].Watts, 'f', 2, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  traces written to %s\n", *fig1Out)
+	}
+}

@@ -1,0 +1,188 @@
+package energysched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func dayTrace(t *testing.T) *Trace {
+	t.Helper()
+	return GenerateTrace(TraceOptions{Days: 1, Seed: 7})
+}
+
+func TestGenerateTraceOptions(t *testing.T) {
+	tr := dayTrace(t)
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, j := range tr.Jobs {
+		if j.Submit > 24*3600 {
+			t.Fatalf("job beyond the 1-day horizon: %v", j.Submit)
+		}
+	}
+	// JobsPerDay override scales volume.
+	small := GenerateTrace(TraceOptions{Days: 1, Seed: 7, JobsPerDay: 20})
+	if small.Len() >= tr.Len() {
+		t.Errorf("JobsPerDay=20 produced %d jobs vs default %d", small.Len(), tr.Len())
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	tr := dayTrace(t)
+	for _, pol := range []string{"RD", "RR", "BF", "DBF", "SB0", "SB1", "SB2", "SB", ""} {
+		res, err := Run(Options{Policy: pol, Trace: tr})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.JobsCompleted != res.JobsTotal {
+			t.Errorf("%s completed %d/%d", pol, res.JobsCompleted, res.JobsTotal)
+		}
+		if res.EnergyKWh <= 0 || res.CPUHours <= 0 {
+			t.Errorf("%s produced empty metrics: %+v", pol, res)
+		}
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	if _, err := Run(Options{Policy: "FIFO", Trace: dayTrace(t)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunRequiresTrace(t *testing.T) {
+	if _, err := Run(Options{Policy: "BF"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestRunCustomLambdas(t *testing.T) {
+	tr := dayTrace(t)
+	relaxed, err := Run(Options{Policy: "SB", Trace: tr, LambdaMin: 10, LambdaMax: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggressive, err := Run(Options{Policy: "SB", Trace: tr, LambdaMin: 50, LambdaMax: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggressive.EnergyKWh >= relaxed.EnergyKWh {
+		t.Errorf("aggressive λ (%v kWh) should save energy vs relaxed (%v kWh)",
+			aggressive.EnergyKWh, relaxed.EnergyKWh)
+	}
+	if relaxed.LambdaMin != 10 || aggressive.LambdaMax != 90 {
+		t.Errorf("lambda echo wrong: %+v / %+v", relaxed, aggressive)
+	}
+}
+
+func TestRunScoreParams(t *testing.T) {
+	tr := dayTrace(t)
+	noCe, err := Run(Options{Policy: "SB", Trace: tr, Score: &ScoreParams{Cempty: 0, Cfill: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := Run(Options{Policy: "SB", Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCe.Migrations > std.Migrations/4 {
+		t.Errorf("Ce=0 migrations (%d) should be far below default (%d)", noCe.Migrations, std.Migrations)
+	}
+}
+
+func TestRunCustomClasses(t *testing.T) {
+	tr := GenerateTrace(TraceOptions{Days: 1, Seed: 7, JobsPerDay: 40})
+	res, err := Run(Options{
+		Policy: "BF",
+		Trace:  tr,
+		Classes: []NodeClass{
+			{Name: "big", Count: 10, CPU: 800, Mem: 200, CreateCost: 30, MigrateCost: 40, BootTime: 60, Reliability: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != res.JobsTotal {
+		t.Errorf("completed %d/%d on custom fleet", res.JobsCompleted, res.JobsTotal)
+	}
+	if _, err := Run(Options{Policy: "BF", Trace: tr, Classes: []NodeClass{}}); err == nil {
+		t.Error("empty class list accepted")
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	tr := GenerateTrace(TraceOptions{Days: 1, Seed: 7, JobsPerDay: 40})
+	res, err := Run(Options{
+		Policy: "SB",
+		Trace:  tr,
+		Classes: []NodeClass{
+			{Name: "flaky", Count: 20, CPU: 400, Mem: 100, CreateCost: 40, MigrateCost: 60, BootTime: 100, Reliability: 0.95},
+		},
+		Failures:          true,
+		CheckpointSeconds: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Error("no failures with reliability 0.95 over a day")
+	}
+	if res.JobsCompleted != res.JobsTotal {
+		t.Errorf("completed %d/%d with failures", res.JobsCompleted, res.JobsTotal)
+	}
+}
+
+func TestTraceCSVRoundTripThroughFacade(t *testing.T) {
+	tr := dayTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip: %d vs %d jobs", back.Len(), tr.Len())
+	}
+}
+
+func TestReadTraceGWFThroughFacade(t *testing.T) {
+	input := "1 100 5 3600 2 0 0 2 3600 0 1\n"
+	tr, err := ReadTraceGWF(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Jobs[0].CPU != 200 {
+		t.Fatalf("GWF parse = %+v", tr.Jobs)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Result{Policy: "SB", LambdaMin: 30, LambdaMax: 90, EnergyKWh: 956.4, Satisfaction: 99.1}
+	s := res.String()
+	if !strings.Contains(s, "SB") || !strings.Contains(s, "956.4") {
+		t.Errorf("Result.String() = %q", s)
+	}
+}
+
+func TestSBbeatsBFOnEnergy(t *testing.T) {
+	// The paper's headline on a one-day workload: the score-based
+	// policy consumes less than Backfilling at equal satisfaction
+	// class.
+	tr := dayTrace(t)
+	bf, err := Run(Options{Policy: "BF", Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Run(Options{Policy: "SB", Trace: tr, LambdaMin: 40, LambdaMax: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.EnergyKWh >= bf.EnergyKWh {
+		t.Errorf("SB (%v kWh) should beat BF (%v kWh)", sb.EnergyKWh, bf.EnergyKWh)
+	}
+	if sb.Satisfaction < bf.Satisfaction-3 {
+		t.Errorf("SB satisfaction (%v) collapsed vs BF (%v)", sb.Satisfaction, bf.Satisfaction)
+	}
+}

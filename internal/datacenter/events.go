@@ -1,0 +1,91 @@
+package datacenter
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"energysched/internal/sla"
+	"energysched/internal/vm"
+)
+
+// EventKind enumerates the observable simulation events.
+type EventKind string
+
+// Simulation event kinds.
+const (
+	EvArrival      EventKind = "arrival"       // job entered the queue
+	EvPlace        EventKind = "place"         // creation started on a node
+	EvCreated      EventKind = "created"       // VM running
+	EvMigrateStart EventKind = "migrate_start" // live migration began
+	EvMigrated     EventKind = "migrated"      // cut-over complete
+	EvCompleted    EventKind = "completed"     // job finished
+	EvBoot         EventKind = "boot"          // node power-on initiated
+	EvBooted       EventKind = "booted"        // node operational
+	EvOff          EventKind = "off"           // node powered down
+	EvFailed       EventKind = "failed"        // node crashed
+	EvRepaired     EventKind = "repaired"      // node back from repair
+	EvRequeued     EventKind = "requeued"      // VM lost to a failure, queued again
+)
+
+// Event is one structured entry of the simulation's event log,
+// suitable for JSONL serialization and timeline tooling.
+type Event struct {
+	// Time is the virtual time in seconds.
+	Time float64 `json:"t"`
+	// Kind is the event type.
+	Kind EventKind `json:"kind"`
+	// VM is the VM involved (-1 for node-only events).
+	VM int `json:"vm"`
+	// Node is the node involved (-1 for queue-only events).
+	Node int `json:"node"`
+	// Aux carries the second node of a migration (destination) or -1.
+	Aux int `json:"aux"`
+}
+
+// emit publishes an event to the configured log, if any.
+func (s *Simulation) emit(kind EventKind, vmID, node, aux int) {
+	if s.cfg.EventLog == nil {
+		return
+	}
+	s.cfg.EventLog(Event{Time: s.eng.Now(), Kind: kind, VM: vmID, Node: node, Aux: aux})
+}
+
+// jobsCSVHeader is the per-job results column set.
+var jobsCSVHeader = []string{
+	"id", "name", "cpu_pct", "mem_units", "submit_s", "start_s", "finish_s",
+	"exec_s", "deadline_s", "satisfaction_pct", "delay_pct", "migrations", "restarts", "final_host",
+}
+
+// WriteJobsCSV dumps per-job outcomes (one row per VM, completed or
+// not) for offline analysis.
+func WriteJobsCSV(w io.Writer, vms []*vm.VM) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(jobsCSVHeader); err != nil {
+		return fmt.Errorf("datacenter: jobs csv header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 3, 64) }
+	for _, v := range vms {
+		exec, sat, delay := -1.0, -1.0, -1.0
+		if v.State == vm.Completed {
+			exec = v.ExecTime()
+			sat = sla.Satisfaction(exec, v.Deadline-v.Submit)
+			delay = sla.Delay(exec, v.Duration)
+		}
+		rec := []string{
+			strconv.Itoa(v.ID), v.Name,
+			f(v.Req.CPU), f(v.Req.Mem),
+			f(v.Submit), f(v.Start), f(v.Finish),
+			f(exec), f(v.Deadline),
+			f(sat), f(delay),
+			strconv.Itoa(v.Migrations), strconv.Itoa(v.Restarts),
+			strconv.Itoa(v.Host),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("datacenter: jobs csv row %d: %w", v.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,462 @@
+package datacenter
+
+import (
+	"fmt"
+	"sort"
+
+	"energysched/internal/cluster"
+	"energysched/internal/core"
+	"energysched/internal/metrics"
+	"energysched/internal/policy"
+	"energysched/internal/power"
+	"energysched/internal/simkit"
+	"energysched/internal/sla"
+	"energysched/internal/vm"
+	"energysched/internal/xen"
+)
+
+// nodeRT is the per-node runtime bookkeeping the harness keeps on top
+// of the cluster model: power metering and the time of the last
+// progress advance.
+type nodeRT struct {
+	node        *cluster.Node
+	meter       *power.Meter
+	lastAdvance float64
+	failTimer   *simkit.Timer
+	// eff is the current thrash efficiency: the useful fraction of
+	// each granted CPU cycle (1 unless the node is overcommitted).
+	eff float64
+}
+
+// Simulation is one run in progress. Build with New, execute with
+// Run, then read the Report.
+type Simulation struct {
+	cfg      Config
+	eng      *simkit.Engine
+	cluster  *cluster.Cluster
+	pm       *core.PowerManager
+	adaptive *core.Adaptive
+	rt       []*nodeRT
+
+	queue []*vm.VM // FIFO virtual-host queue
+	vms   []*vm.VM // all VMs ever created, by ID
+
+	// completionTimer tracks the pending completion event per VM ID.
+	completionTimer map[int]*simkit.Timer
+
+	creation  *simkit.Stream
+	migration *simkit.Stream
+	failures  *simkit.Stream
+
+	workAvg  *metrics.TimeAvg
+	onAvg    *metrics.TimeAvg
+	satAgg   metrics.Welford
+	delayAgg metrics.Welford
+
+	cpuSeconds  float64 // job CPU·s actually executed
+	migrations  int
+	failCount   int
+	completed   int
+	roundActive bool
+	done        bool
+
+	// PowerTrace, when non-nil, receives (time, totalWatts) samples
+	// at every power change (used by the validation experiment).
+	PowerTrace func(t, watts float64)
+}
+
+// New builds a simulation from the configuration.
+func New(cfg Config) (*Simulation, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := core.NewPowerManager(cfg.LambdaMin, cfg.LambdaMax, cfg.MinExec)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:             cfg,
+		eng:             simkit.NewEngine(),
+		cluster:         cl,
+		pm:              pm,
+		completionTimer: make(map[int]*simkit.Timer),
+		creation:        simkit.NewStream(cfg.Seed, "creation"),
+		migration:       simkit.NewStream(cfg.Seed, "migration"),
+		failures:        simkit.NewStream(cfg.Seed, "failures"),
+	}
+	if cfg.AdaptiveTarget > 0 {
+		ad, err := core.NewAdaptive(pm)
+		if err != nil {
+			return nil, err
+		}
+		ad.TargetS = cfg.AdaptiveTarget
+		s.adaptive = ad
+	}
+	for _, n := range cl.Nodes {
+		if cfg.StartOnline {
+			n.State = cluster.On
+		}
+		s.rt = append(s.rt, &nodeRT{
+			node:  n,
+			meter: power.NewMeter(0, n.Watts(0)),
+			eff:   1,
+		})
+	}
+	s.workAvg = metrics.NewTimeAvg(0, 0)
+	s.onAvg = metrics.NewTimeAvg(0, 0)
+	return s, nil
+}
+
+// Engine exposes the simulation engine (tests drive partial runs).
+func (s *Simulation) Engine() *simkit.Engine { return s.eng }
+
+// Cluster exposes the cluster model.
+func (s *Simulation) Cluster() *cluster.Cluster { return s.cluster }
+
+// QueueLen returns the number of VMs waiting in the virtual host.
+func (s *Simulation) QueueLen() int { return len(s.queue) }
+
+// VMs returns all VMs materialized so far (indexed by ID).
+func (s *Simulation) VMs() []*vm.VM { return s.vms }
+
+// Run executes the trace to completion (or cfg.MaxTime) and returns
+// the report.
+func (s *Simulation) Run() (metrics.Report, error) {
+	// Materialize VMs and schedule arrivals.
+	for _, j := range s.cfg.Trace.Jobs {
+		j := j
+		if err := j.Validate(); err != nil {
+			return metrics.Report{}, err
+		}
+		v := vm.New(len(s.vms), vm.Requirements{
+			CPU: j.CPU, Mem: j.Mem, Arch: j.Arch, Hypervisor: j.Hypervisor,
+		}, j.Submit, j.Duration, j.Deadline())
+		v.Name = j.Name
+		v.FaultTolerance = j.FaultTolerance
+		s.vms = append(s.vms, v)
+		s.eng.Schedule(j.Submit, func() { s.onArrival(v) })
+	}
+	// Arm failure processes for nodes that start online.
+	for _, n := range s.cluster.Nodes {
+		if n.State == cluster.On {
+			s.armFailure(n)
+		}
+	}
+	// Housekeeping tick.
+	s.eng.Schedule(0, s.tick)
+	if s.cfg.CheckpointInterval > 0 {
+		s.eng.Schedule(s.cfg.CheckpointInterval, s.checkpointTick)
+	}
+
+	horizon := s.cfg.MaxTime
+	if horizon <= 0 {
+		horizon = 400 * 24 * 3600 // safety net; Stop() fires first
+	}
+	s.eng.Run(horizon)
+	end := s.eng.Now()
+
+	// Close the books.
+	for _, rt := range s.rt {
+		s.advanceNode(rt, end)
+		rt.meter.Close(end)
+	}
+	report := metrics.Report{
+		Policy:        s.cfg.Policy.Name(),
+		LambdaMin:     s.cfg.LambdaMin * unitPercent(s.cfg.LambdaMin),
+		LambdaMax:     s.cfg.LambdaMax * unitPercent(s.cfg.LambdaMax),
+		AvgWorking:    s.workAvg.Mean(end),
+		AvgOnline:     s.onAvg.Mean(end),
+		CPUHours:      s.cpuSeconds / 100 / 3600,
+		EnergyKWh:     s.totalKWh(),
+		Satisfaction:  s.satAgg.Mean(),
+		Delay:         s.delayAgg.Mean(),
+		Migrations:    s.migrations,
+		JobsCompleted: s.completed,
+		JobsTotal:     len(s.vms),
+		Failures:      s.failCount,
+		SimEnd:        end,
+	}
+	return report, nil
+}
+
+func unitPercent(v float64) float64 {
+	if v <= 1 {
+		return 100
+	}
+	return 1
+}
+
+func (s *Simulation) totalKWh() float64 {
+	var kwh float64
+	for _, rt := range s.rt {
+		kwh += rt.meter.KWh()
+	}
+	return kwh
+}
+
+// --- progress and power accounting ---
+
+// advanceNode accrues job progress and leaves the meter positioned at
+// time t with its previous draw (the caller recomputes the new draw).
+func (s *Simulation) advanceNode(rt *nodeRT, t float64) {
+	dt := t - rt.lastAdvance
+	if dt < 0 {
+		panic(fmt.Sprintf("datacenter: node %d time going backwards", rt.node.ID))
+	}
+	if dt == 0 {
+		return
+	}
+	for _, v := range rt.node.VMs {
+		if v.Host != rt.node.ID {
+			continue // migrating in: runs on the source for now
+		}
+		if v.State == vm.Running || v.State == vm.Migrating {
+			v.Progress += v.Alloc * rt.eff * dt
+			s.cpuSeconds += v.Alloc * rt.eff * dt
+		}
+	}
+	rt.lastAdvance = t
+}
+
+// recomputeNode re-runs the Xen allocator on a node after any change
+// in its hosted set or operations, refreshes the power draw, and
+// reschedules completion events for its running VMs.
+func (s *Simulation) recomputeNode(rt *nodeRT) {
+	now := s.eng.Now()
+	s.advanceNode(rt, now)
+	n := rt.node
+
+	// Build the demand set: guest domains hosted here plus dom0
+	// service work for in-flight operations.
+	var owners []*vm.VM
+	var demands []xen.Demand
+	for _, v := range sortedByID(n.VMs) {
+		if v.Host != n.ID {
+			continue
+		}
+		if v.State != vm.Running && v.State != vm.Migrating {
+			continue
+		}
+		owners = append(owners, v)
+		demands = append(demands, xen.Demand{Weight: v.Weight, Cap: v.Req.CPU, Want: v.Req.CPU})
+	}
+	ops := n.CreatingOps + n.MigratingOps
+	for i := 0; i < ops; i++ {
+		demands = append(demands, xen.Demand{Weight: s.cfg.OpWeight, Cap: s.cfg.OpOverheadCPU, Want: s.cfg.OpOverheadCPU})
+	}
+
+	var util float64
+	rt.eff = 1
+	if n.State == cluster.On {
+		alloc := xen.Allocate(n.Class.CPU, demands)
+		for i, v := range owners {
+			v.Alloc = alloc[i]
+		}
+		for _, a := range alloc {
+			util += a
+		}
+		// Thrash: overcommit wastes a fraction of every cycle.
+		if demand := xen.TotalDemand(demands); demand > n.Class.CPU && s.cfg.ThrashFactor > 0 {
+			rt.eff = 1 / (1 + s.cfg.ThrashFactor*(demand/n.Class.CPU-1))
+		}
+	} else {
+		for _, v := range owners {
+			v.Alloc = 0
+		}
+	}
+
+	watts := n.Watts(util)
+	rt.meter.Observe(now, watts)
+	if s.PowerTrace != nil {
+		s.PowerTrace(now, s.currentWatts())
+	}
+
+	// Refresh completion events.
+	for _, v := range owners {
+		s.rescheduleCompletion(v)
+	}
+}
+
+func (s *Simulation) currentWatts() float64 {
+	var w float64
+	for _, rt := range s.rt {
+		w += rt.meter.CurrentWatts()
+	}
+	return w
+}
+
+func (s *Simulation) rescheduleCompletion(v *vm.VM) {
+	if t := s.completionTimer[v.ID]; t != nil {
+		t.Cancel()
+		delete(s.completionTimer, v.ID)
+	}
+	if v.State != vm.Running && v.State != vm.Migrating {
+		return
+	}
+	if v.Alloc <= 0 || v.Host < 0 {
+		return // starved; a later recompute will revisit
+	}
+	rate := v.Alloc * s.rt[v.Host].eff
+	if rate <= 0 {
+		return
+	}
+	eta := s.eng.Now() + v.Remaining()/rate
+	vv := v
+	s.completionTimer[v.ID] = s.eng.Schedule(eta, func() { s.onCompletion(vv) })
+}
+
+// touchCounts refreshes the time-weighted node-count averages.
+func (s *Simulation) touchCounts() {
+	working, online := s.cluster.Counts()
+	now := s.eng.Now()
+	s.workAvg.Observe(now, float64(working))
+	s.onAvg.Observe(now, float64(online))
+}
+
+func sortedByID(m map[int]*vm.VM) []*vm.VM {
+	out := make([]*vm.VM, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- event handlers ---
+
+func (s *Simulation) onArrival(v *vm.VM) {
+	s.queue = append(s.queue, v)
+	s.emit(EvArrival, v.ID, -1, -1)
+	s.round()
+}
+
+func (s *Simulation) onCompletion(v *vm.VM) {
+	delete(s.completionTimer, v.ID)
+	rt := s.rt[v.Host]
+	s.advanceNode(rt, s.eng.Now())
+	if v.Remaining() > 1e-6 {
+		// Stale event (allocation changed after scheduling); the
+		// recompute that changed it also rescheduled us, so this
+		// handler only fires at a true completion — defensive guard.
+		s.rescheduleCompletion(v)
+		return
+	}
+	if v.State == vm.Migrating {
+		// Completing mid-migration: the job is done; tear down the
+		// reservation on the destination too.
+		if v.MigrateTo >= 0 {
+			dst := s.cluster.Node(v.MigrateTo)
+			delete(dst.VMs, v.ID)
+			dst.MigratingOps--
+			rt.node.MigratingOps--
+			v.MigrateTo = -1
+			s.recomputeNode(s.rt[dst.ID])
+		}
+	}
+	delete(rt.node.VMs, v.ID)
+	v.State = vm.Completed
+	v.Finish = s.eng.Now()
+	v.Alloc = 0
+	s.completed++
+	s.emit(EvCompleted, v.ID, rt.node.ID, -1)
+
+	exec := v.ExecTime()
+	sat := sla.Satisfaction(exec, v.Deadline-v.Submit)
+	s.satAgg.Add(sat)
+	s.delayAgg.Add(sla.Delay(exec, v.Duration))
+	if s.adaptive != nil {
+		s.adaptive.Add(sat)
+	}
+
+	s.recomputeNode(rt)
+	s.round()
+
+	if s.completed == len(s.vms) {
+		s.done = true
+		s.eng.Stop()
+	}
+}
+
+// tick is the periodic housekeeping round.
+func (s *Simulation) tick() {
+	if s.adaptive != nil {
+		s.adaptive.Tick(s.eng.Now())
+	}
+	s.round()
+	if !s.done {
+		s.eng.ScheduleAfter(s.cfg.TickInterval, s.tick)
+	}
+}
+
+func (s *Simulation) checkpointTick() {
+	// Progress is materialized lazily at node events; bring every
+	// node current so the checkpoint captures real progress.
+	now := s.eng.Now()
+	for _, rt := range s.rt {
+		s.advanceNode(rt, now)
+	}
+	for _, v := range s.vms {
+		if v.State == vm.Running {
+			v.Checkpoint = v.Progress
+		}
+	}
+	if !s.done {
+		s.eng.ScheduleAfter(s.cfg.CheckpointInterval, s.checkpointTick)
+	}
+}
+
+// round runs one scheduling round: power management first, then the
+// policy, then action application.
+func (s *Simulation) round() {
+	if s.roundActive {
+		// Rounds are not reentrant; state changes inside a round
+		// trigger follow-up work in the same pass.
+		return
+	}
+	s.roundActive = true
+	defer func() { s.roundActive = false }()
+
+	// Power manager.
+	on, off := s.pm.Plan(s.eng.Now(), s.cluster, s.queue)
+	for _, n := range off {
+		s.turnOff(n)
+	}
+	for _, n := range on {
+		s.turnOn(n)
+	}
+
+	// Policy.
+	ctx := &policy.Context{
+		Now:       s.eng.Now(),
+		Cluster:   s.cluster,
+		Queue:     append([]*vm.VM(nil), s.queue...),
+		Active:    s.activeVMs(),
+		LambdaMin: s.pm.LambdaMin,
+		LambdaMax: s.pm.LambdaMax,
+	}
+	actions := s.cfg.Policy.Schedule(ctx)
+	for _, a := range actions {
+		switch act := a.(type) {
+		case policy.Place:
+			s.applyPlace(act)
+		case policy.Migrate:
+			s.applyMigrate(act)
+		}
+	}
+	s.touchCounts()
+}
+
+func (s *Simulation) activeVMs() []*vm.VM {
+	var out []*vm.VM
+	for _, v := range s.vms {
+		if v.Active() {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energysched/internal/power"
+)
+
+func TestOnDemandSteps(t *testing.T) {
+	g := OnDemand{}
+	cases := []struct{ load, want float64 }{
+		{0, 0.6}, {0.3, 0.6}, {0.54, 0.6}, // 0.6 covers up to 0.54 with headroom
+		{0.6, 0.8}, {0.72, 0.8},
+		{0.8, 1.0}, {1.0, 1.0}, {1.5, 1.0},
+	}
+	for _, c := range cases {
+		if got := g.Frequency(c.load); got != c.want {
+			t.Errorf("ondemand f(%v) = %v, want %v", c.load, got, c.want)
+		}
+	}
+}
+
+func TestPinnedGovernors(t *testing.T) {
+	if (Performance{}).Frequency(0) != 1 || (Performance{}).Frequency(1) != 1 {
+		t.Error("performance governor not pinned to 1")
+	}
+	if (Powersave{}).Frequency(1) != Levels[0] {
+		t.Error("powersave default floor wrong")
+	}
+	if (Powersave{Floor: 0.8}).Frequency(0) != 0.8 {
+		t.Error("powersave custom floor ignored")
+	}
+}
+
+func TestWrapOnDemandMatchesBase(t *testing.T) {
+	// The base curve was measured under ondemand, so wrapping it with
+	// OnDemand must be the identity: that curve was measured under
+	// the ondemand governor.
+	m := Wrap(power.PaperTableI(), OnDemand{})
+	for _, cpu := range []float64{0, 50, 100, 200, 300, 400} {
+		base := power.PaperTableI().Power(cpu)
+		if got := m.Power(cpu); math.Abs(got-base) > 1e-9 {
+			t.Errorf("ondemand wrap Power(%v) = %v, want base %v", cpu, got, base)
+		}
+	}
+	// Exactly identical at idle and full load.
+	if m.Power(0) != 230 || math.Abs(m.Power(400)-304) > 1e-9 {
+		t.Errorf("endpoints drifted: %v / %v", m.Power(0), m.Power(400))
+	}
+}
+
+func TestPerformanceCostsMoreAtPartialLoad(t *testing.T) {
+	ondemand := Wrap(power.PaperTableI(), OnDemand{})
+	perf := Wrap(power.PaperTableI(), Performance{})
+	for _, cpu := range []float64{50, 100, 200} {
+		if perf.Power(cpu) <= ondemand.Power(cpu) {
+			t.Errorf("performance governor at %v%% (%v W) should exceed ondemand (%v W)",
+				cpu, perf.Power(cpu), ondemand.Power(cpu))
+		}
+	}
+	// At full load both run the top frequency: equal.
+	if math.Abs(perf.Power(400)-ondemand.Power(400)) > 1e-9 {
+		t.Errorf("full-load power differs: %v vs %v", perf.Power(400), ondemand.Power(400))
+	}
+}
+
+func TestPowersaveCheapButSlow(t *testing.T) {
+	base := power.PaperTableI()
+	save := Wrap(base, Powersave{})
+	if save.Capacity() >= base.Capacity() {
+		t.Errorf("powersave capacity = %v, want below %v", save.Capacity(), base.Capacity())
+	}
+	// At a load where ondemand would have clocked up, the pinned low
+	// frequency draws less than the measured curve.
+	if save.Power(300) >= base.Power(300) {
+		t.Errorf("powersave Power(300) = %v, want below base %v", save.Power(300), base.Power(300))
+	}
+}
+
+func TestWrapMonotoneProperty(t *testing.T) {
+	for _, gov := range []Governor{OnDemand{}, Performance{}, Powersave{}} {
+		m := Wrap(power.PaperTableI(), gov)
+		f := func(a, b float64) bool {
+			a, b = math.Abs(a), math.Abs(b)
+			if math.IsNaN(a+b) || math.IsInf(a+b, 0) {
+				return true
+			}
+			a, b = math.Mod(a, 450), math.Mod(b, 450)
+			if a > b {
+				a, b = b, a
+			}
+			return m.Power(a) <= m.Power(b)+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: %v", gov.Name(), err)
+		}
+	}
+}
+
+func TestIdleAndPeakAccessors(t *testing.T) {
+	m := Wrap(power.PaperTableI(), OnDemand{})
+	if m.IdlePower() != 230 {
+		t.Errorf("idle = %v", m.IdlePower())
+	}
+	if math.Abs(m.PeakPower()-304) > 1e-9 {
+		t.Errorf("peak = %v", m.PeakPower())
+	}
+}
+
+func TestResidency(t *testing.T) {
+	g := OnDemand{}
+	r, err := ResidencyOf(g, []float64{10, 20, 30}, []float64{0.1, 0.7, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0.6] != 10 || r[0.8] != 20 || r[1.0] != 30 {
+		t.Errorf("residency = %v", r)
+	}
+	if _, err := ResidencyOf(g, []float64{1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := ResidencyOf(g, []float64{-1}, []float64{0.1}); err == nil {
+		t.Error("negative duration accepted")
+	}
+}

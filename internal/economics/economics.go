@@ -1,0 +1,106 @@
+// Package economics implements the provider-revenue view the paper
+// defers to future work (§VI: "new enhancements to the scheduling
+// policy such as … economical decision making will be included"):
+// jobs pay for the CPU they reserve, discounted by the SLA
+// satisfaction actually delivered (a client whose deadline slipped to
+// twice the agreed bound pays nothing — the same shape as the
+// satisfaction metric); the datacenter pays for every watt-hour it
+// draws. Profit = revenue − energy cost unifies the power/QoS
+// trade-off in one number, which is how a provider would actually
+// pick λ thresholds or a policy.
+package economics
+
+import (
+	"fmt"
+
+	"energysched/internal/metrics"
+	"energysched/internal/sla"
+	"energysched/internal/vm"
+)
+
+// Tariff prices the datacenter's business.
+type Tariff struct {
+	// PricePerCPUHour is the full-satisfaction payment for one
+	// CPU-hour of reserved capacity (currency units).
+	PricePerCPUHour float64
+	// EnergyPricePerKWh is what the provider pays the utility.
+	EnergyPricePerKWh float64
+	// PenaltyFloor, in [0, 1], is the fraction of the payment that is
+	// refunded at S = 0 (1 = full refund; the default). Values below
+	// 1 model contracts with capped penalties.
+	PenaltyFloor float64
+}
+
+// DefaultTariff returns a plausible 2010-era HPC hosting tariff:
+// 0.10 currency units per CPU-hour, 0.12 per kWh.
+func DefaultTariff() Tariff {
+	return Tariff{PricePerCPUHour: 0.10, EnergyPricePerKWh: 0.12, PenaltyFloor: 1}
+}
+
+// Validate reports tariff errors.
+func (t Tariff) Validate() error {
+	if t.PricePerCPUHour < 0 || t.EnergyPricePerKWh < 0 {
+		return fmt.Errorf("economics: negative prices")
+	}
+	if t.PenaltyFloor < 0 || t.PenaltyFloor > 1 {
+		return fmt.Errorf("economics: penalty floor %.2f outside [0,1]", t.PenaltyFloor)
+	}
+	return nil
+}
+
+// Outcome is the economic result of one simulation run.
+type Outcome struct {
+	// Revenue collected from clients.
+	Revenue float64
+	// MaxRevenue is what a perfect-satisfaction run would have earned
+	// (Revenue / MaxRevenue is the realized fraction).
+	MaxRevenue float64
+	// EnergyCost paid to the utility.
+	EnergyCost float64
+	// Profit = Revenue − EnergyCost.
+	Profit float64
+	// SLARefunds = MaxRevenue − Revenue.
+	SLARefunds float64
+}
+
+// JobPayment returns what one completed job pays under the tariff:
+// the reserved CPU-hours priced at full rate, scaled by the
+// satisfaction fraction (bounded below by 1 − PenaltyFloor).
+func (t Tariff) JobPayment(v *vm.VM) float64 {
+	if v.State != vm.Completed {
+		return 0
+	}
+	full := t.PricePerCPUHour * (v.Req.CPU / 100) * (v.Duration / 3600)
+	s := sla.Satisfaction(v.ExecTime(), v.Deadline-v.Submit) / 100
+	frac := 1 - t.PenaltyFloor*(1-s)
+	if frac < 0 {
+		frac = 0
+	}
+	return full * frac
+}
+
+// Evaluate computes the economic outcome of a run from its per-job
+// results and the energy total of its report.
+func (t Tariff) Evaluate(vms []*vm.VM, rep metrics.Report) (Outcome, error) {
+	if err := t.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	for _, v := range vms {
+		if v.State != vm.Completed {
+			continue
+		}
+		out.MaxRevenue += t.PricePerCPUHour * (v.Req.CPU / 100) * (v.Duration / 3600)
+		out.Revenue += t.JobPayment(v)
+	}
+	out.EnergyCost = rep.EnergyKWh * t.EnergyPricePerKWh
+	out.Profit = out.Revenue - out.EnergyCost
+	out.SLARefunds = out.MaxRevenue - out.Revenue
+	return out, nil
+}
+
+// String renders the outcome for reports.
+func (o Outcome) String() string {
+	return fmt.Sprintf("revenue %8.2f (of %8.2f)  energy cost %7.2f  refunds %7.2f  profit %8.2f",
+		o.Revenue, o.MaxRevenue, o.EnergyCost, o.SLARefunds, o.Profit)
+}

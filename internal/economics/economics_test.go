@@ -1,0 +1,109 @@
+package economics
+
+import (
+	"math"
+	"testing"
+
+	"energysched/internal/metrics"
+	"energysched/internal/vm"
+)
+
+func completedVM(id int, cpu, dur, deadlineFactor, execFactor float64) *vm.VM {
+	v := vm.New(id, vm.Requirements{CPU: cpu, Mem: 5}, 0, dur, deadlineFactor*dur)
+	v.State = vm.Completed
+	v.Finish = execFactor * dur
+	return v
+}
+
+func TestJobPaymentFullSatisfaction(t *testing.T) {
+	tariff := DefaultTariff()
+	// 2 cores × 1 h, finished well within deadline: pays 2 × 0.10.
+	v := completedVM(0, 200, 3600, 1.5, 1.0)
+	if got := tariff.JobPayment(v); math.Abs(got-0.20) > 1e-12 {
+		t.Errorf("payment = %v, want 0.20", got)
+	}
+}
+
+func TestJobPaymentZeroAtDoubleDeadline(t *testing.T) {
+	tariff := DefaultTariff()
+	// Finished at 3× the deadline: S = 0 → full refund.
+	v := completedVM(0, 100, 3600, 1.2, 3.6)
+	if got := tariff.JobPayment(v); got != 0 {
+		t.Errorf("payment = %v, want 0", got)
+	}
+}
+
+func TestJobPaymentPartial(t *testing.T) {
+	tariff := DefaultTariff()
+	// Deadline 1.5×dur; exec 1.5×1.5 = 2.25×dur → 50 % over → S = 50.
+	v := completedVM(0, 100, 3600, 1.5, 2.25)
+	want := 0.10 * 0.5
+	if got := tariff.JobPayment(v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("payment = %v, want %v", got, want)
+	}
+}
+
+func TestJobPaymentPenaltyFloor(t *testing.T) {
+	tariff := DefaultTariff()
+	tariff.PenaltyFloor = 0.4               // at most 40 % refunded
+	v := completedVM(0, 100, 3600, 1.2, 10) // S = 0
+	want := 0.10 * 0.6
+	if got := tariff.JobPayment(v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("floored payment = %v, want %v", got, want)
+	}
+}
+
+func TestJobPaymentIncompleteJobPaysNothing(t *testing.T) {
+	tariff := DefaultTariff()
+	v := vm.New(0, vm.Requirements{CPU: 100, Mem: 5}, 0, 3600, 5400)
+	v.State = vm.Running
+	if got := tariff.JobPayment(v); got != 0 {
+		t.Errorf("running job paid %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	tariff := DefaultTariff()
+	vms := []*vm.VM{
+		completedVM(0, 200, 3600, 1.5, 1.0),  // pays 0.20
+		completedVM(1, 100, 3600, 1.5, 2.25), // pays 0.05 of 0.10
+	}
+	rep := metrics.Report{EnergyKWh: 10}
+	out, err := tariff.Evaluate(vms, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Revenue-0.25) > 1e-12 {
+		t.Errorf("revenue = %v, want 0.25", out.Revenue)
+	}
+	if math.Abs(out.MaxRevenue-0.30) > 1e-12 {
+		t.Errorf("max revenue = %v, want 0.30", out.MaxRevenue)
+	}
+	if math.Abs(out.EnergyCost-1.2) > 1e-12 {
+		t.Errorf("energy cost = %v, want 1.2", out.EnergyCost)
+	}
+	if math.Abs(out.Profit-(0.25-1.2)) > 1e-12 {
+		t.Errorf("profit = %v", out.Profit)
+	}
+	if math.Abs(out.SLARefunds-0.05) > 1e-12 {
+		t.Errorf("refunds = %v, want 0.05", out.SLARefunds)
+	}
+}
+
+func TestEvaluateValidatesTariff(t *testing.T) {
+	bad := Tariff{PricePerCPUHour: -1}
+	if _, err := bad.Evaluate(nil, metrics.Report{}); err == nil {
+		t.Error("negative price accepted")
+	}
+	bad = Tariff{PenaltyFloor: 2}
+	if _, err := bad.Evaluate(nil, metrics.Report{}); err == nil {
+		t.Error("penalty floor > 1 accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := Outcome{Revenue: 1, MaxRevenue: 2, EnergyCost: 0.5, Profit: 0.5, SLARefunds: 1}
+	if o.String() == "" {
+		t.Error("empty outcome string")
+	}
+}

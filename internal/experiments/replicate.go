@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"energysched/internal/metrics"
+	"energysched/internal/workload"
+)
+
+// Stat is a replicated metric: mean over seeds with a 95 % confidence
+// half-width (normal approximation; with the recommended 5–10
+// replicas this is within a few percent of the t-quantile).
+type Stat struct {
+	Mean, Stddev, CI95 float64
+}
+
+func statOf(w *metrics.Welford) Stat {
+	n := float64(w.N())
+	ci := 0.0
+	if n > 1 {
+		// Sample stddev from the population variance Welford keeps.
+		sd := w.Stddev() * math.Sqrt(n/(n-1))
+		ci = 1.96 * sd / math.Sqrt(n)
+		return Stat{Mean: w.Mean(), Stddev: sd, CI95: ci}
+	}
+	return Stat{Mean: w.Mean()}
+}
+
+// String renders "mean ± ci".
+func (s Stat) String() string { return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.CI95) }
+
+// Replication aggregates one experiment row over several seeds: both
+// the workload trace and the simulator's stochastic draws change per
+// seed, so the intervals reflect full run-to-run variability.
+type Replication struct {
+	Label        string
+	Replicas     int
+	EnergyKWh    Stat
+	Satisfaction Stat
+	Delay        Stat
+	Migrations   Stat
+	AvgOnline    Stat
+	AvgWorking   Stat
+}
+
+// String renders the row for reports.
+func (r Replication) String() string {
+	return fmt.Sprintf("%-9s n=%d  Pwr %s kWh  S %s %%  delay %s %%  mig %s  ON %s",
+		r.Label, r.Replicas, r.EnergyKWh, r.Satisfaction, r.Delay, r.Migrations, r.AvgOnline)
+}
+
+// Replicate runs the spec produced by mkSpec once per seed, each time
+// on a freshly generated trace with that seed, and aggregates the
+// paper's metrics. mkSpec must return a fresh policy every call —
+// policies carry state across rounds and must not be shared between
+// runs.
+func Replicate(label string, mkSpec func() Spec, gen workload.GeneratorConfig, seeds []int64) (Replication, error) {
+	if len(seeds) == 0 {
+		return Replication{}, fmt.Errorf("experiments: no seeds")
+	}
+	var energy, sat, delay, mig, online, working metrics.Welford
+	for _, seed := range seeds {
+		g := gen
+		g.Seed = seed
+		trace, err := workload.Generate(g)
+		if err != nil {
+			return Replication{}, err
+		}
+		rep, err := RunSpec(mkSpec(), trace)
+		if err != nil {
+			return Replication{}, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		energy.Add(rep.EnergyKWh)
+		sat.Add(rep.Satisfaction)
+		delay.Add(rep.Delay)
+		mig.Add(float64(rep.Migrations))
+		online.Add(rep.AvgOnline)
+		working.Add(rep.AvgWorking)
+	}
+	return Replication{
+		Label:        label,
+		Replicas:     len(seeds),
+		EnergyKWh:    statOf(&energy),
+		Satisfaction: statOf(&sat),
+		Delay:        statOf(&delay),
+		Migrations:   statOf(&mig),
+		AvgOnline:    statOf(&online),
+		AvgWorking:   statOf(&working),
+	}, nil
+}
+
+// Seeds returns the canonical seed list 1..n.
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}

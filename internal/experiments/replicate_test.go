@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energysched/internal/metrics"
+	"energysched/internal/policy"
+	"energysched/internal/workload"
+)
+
+func shortGen() workload.GeneratorConfig {
+	g := workload.DefaultGeneratorConfig()
+	g.Horizon = 6 * 3600
+	return g
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	mk := func() Spec {
+		return Spec{Policy: policy.NewBackfilling(), LambdaMin: 30, LambdaMax: 90}
+	}
+	r, err := Replicate("BF", mk, shortGen(), Seeds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas != 4 {
+		t.Fatalf("replicas = %d", r.Replicas)
+	}
+	if r.EnergyKWh.Mean <= 0 {
+		t.Error("no energy aggregated")
+	}
+	if r.EnergyKWh.CI95 <= 0 {
+		t.Error("no confidence interval with 4 different seeds")
+	}
+	if r.Satisfaction.Mean < 50 || r.Satisfaction.Mean > 100 {
+		t.Errorf("satisfaction mean = %v", r.Satisfaction.Mean)
+	}
+	if !strings.Contains(r.String(), "BF") {
+		t.Errorf("row = %q", r.String())
+	}
+}
+
+func TestReplicateSingleSeedHasNoCI(t *testing.T) {
+	mk := func() Spec {
+		return Spec{Policy: policy.NewBackfilling(), LambdaMin: 30, LambdaMax: 90}
+	}
+	r, err := Replicate("BF", mk, shortGen(), Seeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnergyKWh.CI95 != 0 {
+		t.Errorf("CI with one replica = %v", r.EnergyKWh.CI95)
+	}
+}
+
+func TestReplicateNeedsSeeds(t *testing.T) {
+	mk := func() Spec { return Spec{Policy: policy.NewBackfilling()} }
+	if _, err := Replicate("x", mk, shortGen(), nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(3)
+	if len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Errorf("Seeds(3) = %v", s)
+	}
+}
+
+func TestStatMath(t *testing.T) {
+	var w metrics.Welford
+	for _, x := range []float64{10, 12, 14} {
+		w.Add(x)
+	}
+	s := statOf(&w)
+	if s.Mean != 12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Sample stddev of {10,12,14} = 2; CI95 = 1.96×2/√3 ≈ 2.263.
+	if math.Abs(s.Stddev-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", s.Stddev)
+	}
+	if math.Abs(s.CI95-1.96*2/math.Sqrt(3)) > 1e-9 {
+		t.Errorf("CI95 = %v", s.CI95)
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAvgConstant(t *testing.T) {
+	a := NewTimeAvg(0, 5)
+	if got := a.Mean(10); got != 5 {
+		t.Errorf("constant mean = %v, want 5", got)
+	}
+}
+
+func TestTimeAvgStep(t *testing.T) {
+	a := NewTimeAvg(0, 0)
+	a.Observe(10, 10) // 0 for [0,10), 10 for [10,20)
+	if got := a.Mean(20); got != 5 {
+		t.Errorf("step mean = %v, want 5", got)
+	}
+}
+
+func TestTimeAvgMultipleSteps(t *testing.T) {
+	a := NewTimeAvg(0, 2)
+	a.Observe(5, 4)
+	a.Observe(15, 0)
+	// 2×5 + 4×10 + 0×5 = 50 over 20 s.
+	if got := a.Mean(20); got != 2.5 {
+		t.Errorf("mean = %v, want 2.5", got)
+	}
+}
+
+func TestTimeAvgCurrentAndEarlyMean(t *testing.T) {
+	a := NewTimeAvg(3, 7)
+	if a.Current() != 7 {
+		t.Errorf("Current = %v", a.Current())
+	}
+	if got := a.Mean(3); got != 7 {
+		t.Errorf("Mean at start = %v, want last value", got)
+	}
+}
+
+func TestTimeAvgBackwardsPanics(t *testing.T) {
+	a := NewTimeAvg(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	a.Observe(5, 2)
+}
+
+// Property: time-weighted mean is always within [min, max] of the
+// observed values.
+func TestTimeAvgBoundsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := NewTimeAvg(0, float64(vals[0]%100))
+		lo, hi := float64(vals[0]%100), float64(vals[0]%100)
+		tm := 0.0
+		for _, v := range vals[1:] {
+			tm += float64(v%50) + 0.5
+			val := float64(v % 100)
+			a.Observe(tm, val)
+			if val < lo {
+				lo = val
+			}
+			if val > hi {
+				hi = val
+			}
+		}
+		m := a.Mean(tm + 10)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if got := w.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := w.Var(); got != 4 {
+		t.Errorf("var = %v, want 4", got)
+	}
+	if got := w.Stddev(); got != 2 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("empty Welford not zero")
+	}
+}
+
+func TestWelfordMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range raw {
+			w.Add(float64(x))
+			sum += float64(x)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, x := range raw {
+			d := float64(x) - mean
+			m2 += d * d
+		}
+		variance := m2 / float64(len(raw))
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-variance) < 1e-3*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		Policy: "SB", LambdaMin: 30, LambdaMax: 90,
+		AvgWorking: 9.7, AvgOnline: 21.0, CPUHours: 6055.8,
+		EnergyKWh: 956.4, Satisfaction: 99.1, Delay: 9.0, Migrations: 87,
+	}
+	s := r.String()
+	for _, want := range []string{"SB", "30-90", "9.7", "21.0", "956.4", "99.1", "87"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+	if TableHeader() == "" {
+		t.Error("empty table header")
+	}
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import "fmt"
+
+// Report is one row of the paper's result tables: the outcome of one
+// complete simulation run under one policy configuration.
+type Report struct {
+	// Policy is the configuration label (RD, RR, BF, SB0, ...).
+	Policy string
+	// LambdaMin, LambdaMax are the turn-on/off thresholds (percent).
+	LambdaMin, LambdaMax float64
+
+	// AvgWorking is the time-averaged number of working nodes.
+	AvgWorking float64
+	// AvgOnline is the time-averaged number of powered-on nodes.
+	AvgOnline float64
+	// CPUHours is the total CPU work executed (CPU·h).
+	CPUHours float64
+	// EnergyKWh is total datacenter consumption over the run.
+	EnergyKWh float64
+	// Satisfaction is mean client satisfaction S (percent).
+	Satisfaction float64
+	// Delay is mean execution delay (percent).
+	Delay float64
+	// Migrations counts completed live migrations.
+	Migrations int
+
+	// JobsCompleted / JobsTotal give completion accounting.
+	JobsCompleted, JobsTotal int
+	// Failures counts node failures injected.
+	Failures int
+	// SimEnd is the virtual time the run finished at (seconds).
+	SimEnd float64
+}
+
+// String renders the row roughly as the paper's tables do.
+func (r Report) String() string {
+	return fmt.Sprintf("%-6s λ=%2.0f-%2.0f  Work/ON %5.1f /%5.1f  CPU %8.1f h  Pwr %7.1f kWh  S %5.1f%%  delay %5.1f%%  mig %4d",
+		r.Policy, r.LambdaMin, r.LambdaMax, r.AvgWorking, r.AvgOnline,
+		r.CPUHours, r.EnergyKWh, r.Satisfaction, r.Delay, r.Migrations)
+}
+
+// TableHeader is the column header matching String's layout.
+func TableHeader() string {
+	return fmt.Sprintf("%-6s %-7s  %-14s  %-10s  %-11s  %-7s  %-10s  %s",
+		"policy", "lambda", "Work/ON", "CPU (h)", "Pwr (kWh)", "S (%)", "delay (%)", "Mig")
+}

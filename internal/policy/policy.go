@@ -1,0 +1,76 @@
+// Package policy defines the scheduling-policy contract the
+// datacenter harness drives, plus the baseline policies the paper
+// compares against: Random (RD), Round-Robin (RR), Backfilling (BF)
+// and Dynamic Backfilling (DBF, backfilling with consolidation
+// migrations). The paper's score-based policy lives in internal/core
+// and implements the same interface.
+package policy
+
+import (
+	"energysched/internal/cluster"
+	"energysched/internal/vm"
+)
+
+// Context is the scheduler's read view of the system at a scheduling
+// round.
+type Context struct {
+	// Now is the current virtual time.
+	Now float64
+	// Cluster is the set of physical nodes with their current state.
+	Cluster *cluster.Cluster
+	// Queue holds the VMs waiting in the virtual host for placement
+	// (new arrivals and VMs recovered from failed nodes), in FIFO
+	// order.
+	Queue []*vm.VM
+	// Active holds the VMs currently occupying nodes (creating,
+	// running or migrating).
+	Active []*vm.VM
+	// LambdaMin, LambdaMax are the power manager's working-ratio
+	// thresholds as fractions; consolidation-migrating policies use
+	// them to decide when draining nodes is worthwhile (a drained
+	// node is only a win if it can be turned off).
+	LambdaMin, LambdaMax float64
+}
+
+// Action is a scheduling decision returned to the harness.
+type Action interface{ isAction() }
+
+// Place creates a queued VM on a node.
+type Place struct {
+	VM   *vm.VM
+	Node int
+}
+
+// Migrate live-migrates a running VM to another node.
+type Migrate struct {
+	VM *vm.VM
+	To int
+}
+
+func (Place) isAction()   {}
+func (Migrate) isAction() {}
+
+// Policy decides placements (and, if migratory, migrations) at each
+// scheduling round. Implementations must be deterministic given the
+// context and their own seeded state.
+type Policy interface {
+	// Name returns the label used in reports (RD, RR, BF, DBF, SB...).
+	Name() string
+	// Schedule inspects the context and returns actions. Returning no
+	// actions leaves queued VMs in the queue.
+	Schedule(ctx *Context) []Action
+	// Migratory reports whether the policy ever migrates VMs (the
+	// paper's static/dynamic split).
+	Migratory() bool
+}
+
+// fitsOnline reports whether node n can accept v right now.
+func fitsOnline(n *cluster.Node, v *vm.VM) bool {
+	return n.State == cluster.On && n.Fits(v.Req)
+}
+
+// satisfiesOnline reports whether node n meets v's hardware/software
+// requirements and is operational, ignoring current occupation.
+func satisfiesOnline(n *cluster.Node, v *vm.VM) bool {
+	return n.State == cluster.On && n.Satisfies(v.Req)
+}

@@ -1,0 +1,285 @@
+package simkit
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		if e.Now() != 10 {
+			t.Errorf("Now() inside handler = %v, want 10", e.Now())
+		}
+		e.ScheduleAfter(5, func() {
+			if e.Now() != 15 {
+				t.Errorf("chained Now() = %v, want 15", e.Now())
+			}
+		})
+	})
+	end := e.RunAll()
+	if end != 15 {
+		t.Fatalf("RunAll returned %v, want 15", end)
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	now := e.Run(10)
+	if fired != 2 {
+		t.Fatalf("fired %d events by t=10, want 2 (inclusive horizon)", fired)
+	}
+	if now != 10 {
+		t.Fatalf("Run returned %v, want 10", now)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunEmptyAdvancesToHorizon(t *testing.T) {
+	e := NewEngine()
+	if got := e.Run(42); got != 42 {
+		t.Fatalf("Run(42) on empty queue = %v, want 42", got)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.Schedule(5, func() { fired = true })
+	if !timer.Pending() {
+		t.Fatal("timer should be pending before firing")
+	}
+	if !timer.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	timer := e.Schedule(1, func() {})
+	e.RunAll()
+	if timer.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if timer.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling at NaN did not panic")
+		}
+	}()
+	e.Schedule(math.NaN(), func() {})
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d after Stop, want 1", fired)
+	}
+	// Run can resume afterwards.
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired %d after resume, want 2", fired)
+	}
+}
+
+// Property: for any batch of random schedule times, execution order is
+// exactly the sorted order (stable for duplicates).
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		e := NewEngine()
+		var want []float64
+		var got []float64
+		for _, raw := range times {
+			at := math.Abs(raw)
+			if math.IsNaN(at) || math.IsInf(at, 0) {
+				continue
+			}
+			at = math.Mod(at, 1e6)
+			want = append(want, at)
+			tt := at
+			e.Schedule(tt, func() { got = append(got, tt) })
+		}
+		e.RunAll()
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42, "x")
+	b := NewStream(42, "x")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, name) produced different sequences")
+		}
+	}
+	c := NewStream(42, "y")
+	same := true
+	a2 := NewStream(42, "x")
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different names produced identical sequences")
+	}
+}
+
+func TestStreamNormalPositive(t *testing.T) {
+	s := NewStream(1, "np")
+	for i := 0; i < 1000; i++ {
+		if v := s.NormalPositive(40, 2.5); v <= 0 {
+			t.Fatalf("NormalPositive returned %v", v)
+		}
+	}
+	// Pathological parameters fall back to the mean.
+	if v := s.NormalPositive(-5, 0.001); v != -5 {
+		// All draws negative: the documented fallback is the mean.
+		t.Fatalf("fallback = %v, want mean -5", v)
+	}
+}
+
+func TestStreamUniformBounds(t *testing.T) {
+	s := NewStream(3, "u")
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(1.2, 2.0)
+		if v < 1.2 || v >= 2.0 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestStreamExpMean(t *testing.T) {
+	s := NewStream(4, "e")
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(0.5) // mean 2
+	}
+	mean := sum / n
+	if mean < 1.9 || mean > 2.1 {
+		t.Fatalf("Exp(0.5) mean = %v, want ≈2", mean)
+	}
+}
+
+func TestStreamLogNormalMedian(t *testing.T) {
+	s := NewStream(5, "ln")
+	var vals []float64
+	for i := 0; i < 10001; i++ {
+		vals = append(vals, s.LogNormal(7.6, 1.25))
+	}
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	want := math.Exp(7.6)
+	if median < want*0.9 || median > want*1.1 {
+		t.Fatalf("lognormal median = %v, want ≈%v", median, want)
+	}
+}
+
+func TestStreamPerm(t *testing.T) {
+	s := NewStream(6, "p")
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestStreamIntnRange(t *testing.T) {
+	s := NewStream(7, "i")
+	r := rand.New(rand.NewSource(1)) // independent source for bound picks
+	for i := 0; i < 100; i++ {
+		n := 1 + r.Intn(50)
+		if v := s.Intn(n); v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}

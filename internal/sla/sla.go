@@ -1,0 +1,66 @@
+// Package sla implements the paper's QoS metrics for HPC jobs with
+// deadlines: the client-satisfaction metric S (§V), execution delay,
+// and the SLA-fulfillment estimator used by the dynamic SLA
+// enforcement penalty (§III-A5).
+package sla
+
+import "math"
+
+// Satisfaction is the paper's client-satisfaction percentage:
+//
+//	S = 100                                    if Texec <  Tdead
+//	S = 100 · max(1 − (Texec−Tdead)/Tdead, 0)  if Texec >= Tdead
+//
+// where both times are measured relative to submission. A job that
+// takes twice its deadline (or more) scores 0.
+func Satisfaction(execTime, deadline float64) float64 {
+	if deadline <= 0 {
+		return 0
+	}
+	if execTime < deadline {
+		return 100
+	}
+	return 100 * math.Max(1-(execTime-deadline)/deadline, 0)
+}
+
+// Delay is the execution-time delay percentage relative to the
+// dedicated-machine runtime Tu: how much longer the job took (waiting,
+// virtualization overheads, contention) than it would have alone.
+// Never negative.
+func Delay(execTime, dedicated float64) float64 {
+	if dedicated <= 0 {
+		return 0
+	}
+	return 100 * math.Max(execTime/dedicated-1, 0)
+}
+
+// Fulfillment estimates SLA(h, vm) ∈ [0, 1] for a job in flight: the
+// ratio between its deadline budget and its projected total execution
+// time, capped at 1. The projection charges elapsed time so far plus
+// remaining work at the given CPU allocation, plus a fixed overhead
+// (e.g. a pending migration).
+//
+//   - 1.0  → on track, no penalty;
+//   - (THsla, 1) → at risk, finite penalty Csla;
+//   - <= THsla   → hopeless on this host, infinite penalty.
+func Fulfillment(now, submit, deadline, remainingWork, alloc, overhead float64) float64 {
+	budget := deadline - submit
+	if budget <= 0 {
+		return 0
+	}
+	if remainingWork <= 0 {
+		// Finished (or no work): fulfilled iff within budget.
+		if now-submit <= budget {
+			return 1
+		}
+		return budget / (now - submit)
+	}
+	if alloc <= 0 {
+		return 0
+	}
+	projected := (now - submit) + overhead + remainingWork/alloc
+	if projected <= budget {
+		return 1
+	}
+	return budget / projected
+}

@@ -1,0 +1,152 @@
+package sla
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSatisfactionWithinDeadline(t *testing.T) {
+	if got := Satisfaction(100, 150); got != 100 {
+		t.Errorf("S = %v, want 100", got)
+	}
+}
+
+func TestSatisfactionAtDeadline(t *testing.T) {
+	// Texec == Tdead hits the second branch with zero overshoot.
+	if got := Satisfaction(150, 150); got != 100 {
+		t.Errorf("S at exact deadline = %v, want 100", got)
+	}
+}
+
+func TestSatisfactionLinearDecay(t *testing.T) {
+	// 50 % over the deadline → S = 50.
+	if got := Satisfaction(150, 100); got != 50 {
+		t.Errorf("S = %v, want 50", got)
+	}
+	// Paper's example: deadline 150 min, execution 300 min → S = 0.
+	if got := Satisfaction(300, 150); got != 0 {
+		t.Errorf("S = %v, want 0", got)
+	}
+	// Beyond twice the deadline stays 0.
+	if got := Satisfaction(1000, 150); got != 0 {
+		t.Errorf("S = %v, want 0", got)
+	}
+}
+
+func TestSatisfactionDegenerate(t *testing.T) {
+	if got := Satisfaction(10, 0); got != 0 {
+		t.Errorf("S with zero deadline = %v, want 0", got)
+	}
+}
+
+func TestSatisfactionBoundsProperty(t *testing.T) {
+	f := func(exec, dead float64) bool {
+		exec, dead = math.Abs(exec), math.Abs(dead)
+		if math.IsNaN(exec) || math.IsNaN(dead) || math.IsInf(exec, 0) || math.IsInf(dead, 0) {
+			return true
+		}
+		s := Satisfaction(exec, dead)
+		return s >= 0 && s <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatisfactionMonotoneInExecProperty(t *testing.T) {
+	f := func(a, b, dead float64) bool {
+		a, b, dead = math.Abs(a), math.Abs(b), math.Abs(dead)+1
+		if math.IsNaN(a+b+dead) || math.IsInf(a+b+dead, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Satisfaction(a, dead) >= Satisfaction(b, dead)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	if got := Delay(150, 100); got != 50 {
+		t.Errorf("Delay = %v, want 50", got)
+	}
+	if got := Delay(90, 100); got != 0 {
+		t.Errorf("early finish Delay = %v, want 0", got)
+	}
+	if got := Delay(100, 0); got != 0 {
+		t.Errorf("degenerate Delay = %v, want 0", got)
+	}
+	// Paper's example: 100-minute job, 300 minutes total → 200 %.
+	if got := Delay(300, 100); got != 200 {
+		t.Errorf("Delay = %v, want 200", got)
+	}
+}
+
+func TestFulfillmentOnTrack(t *testing.T) {
+	// Submitted at 0, deadline 1000; at t=100 with 400 work left at
+	// 100 % CPU: projected 100+400 = 500 < 1000 → fulfilled.
+	if got := Fulfillment(100, 0, 1000, 400, 100*4, 0); got != 1 {
+		t.Errorf("fulfillment = %v, want 1", got)
+	}
+}
+
+func TestFulfillmentAtRisk(t *testing.T) {
+	// Projected 100 + 1800/1 = 1900 vs budget 1000 → ratio ~0.53.
+	got := Fulfillment(100, 0, 1000, 1800, 1, 0)
+	want := 1000.0 / 1900.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("fulfillment = %v, want %v", got, want)
+	}
+}
+
+func TestFulfillmentStarved(t *testing.T) {
+	if got := Fulfillment(100, 0, 1000, 500, 0, 0); got != 0 {
+		t.Errorf("starved fulfillment = %v, want 0", got)
+	}
+}
+
+func TestFulfillmentOverheadCounts(t *testing.T) {
+	// Within budget without overhead, beyond with it.
+	without := Fulfillment(0, 0, 100, 90, 1, 0)
+	with := Fulfillment(0, 0, 100, 90, 1, 60)
+	if without != 1 {
+		t.Errorf("no-overhead fulfillment = %v, want 1", without)
+	}
+	if with >= 1 {
+		t.Errorf("overhead fulfillment = %v, want < 1", with)
+	}
+}
+
+func TestFulfillmentFinishedJob(t *testing.T) {
+	if got := Fulfillment(50, 0, 100, 0, 0, 0); got != 1 {
+		t.Errorf("finished within budget = %v, want 1", got)
+	}
+	if got := Fulfillment(200, 0, 100, 0, 0, 0); got != 0.5 {
+		t.Errorf("finished late = %v, want 0.5", got)
+	}
+}
+
+func TestFulfillmentDegenerateBudget(t *testing.T) {
+	if got := Fulfillment(10, 0, 0, 100, 100, 0); got != 0 {
+		t.Errorf("zero budget = %v, want 0", got)
+	}
+}
+
+func TestFulfillmentBoundsProperty(t *testing.T) {
+	f := func(now, dead, work, alloc, overhead float64) bool {
+		now, dead = math.Abs(now), math.Abs(dead)
+		work, alloc, overhead = math.Abs(work), math.Abs(alloc), math.Abs(overhead)
+		if math.IsNaN(now+dead+work+alloc+overhead) || math.IsInf(now+dead+work+alloc+overhead, 0) {
+			return true
+		}
+		fv := Fulfillment(now, 0, dead, work, alloc, overhead)
+		return fv >= 0 && fv <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package timeline reconstructs a datacenter run from its event log
+// and renders it as an ASCII chart: one lane per node, one character
+// per time bucket, showing power state and VM occupancy at a glance.
+// It is the analysis companion of the harness's EventLog hook (use
+// cmd/replay on a JSONL event file, or feed events directly).
+//
+// Legend: '.' off · '%' booting · '_' idle (on, empty) · digits =
+// hosted VM count ('+' above 9) · 'X' failed.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"energysched/internal/datacenter"
+)
+
+// nodeState is a node's reconstructed condition.
+type nodeState int
+
+const (
+	stOff nodeState = iota
+	stBoot
+	stOn
+	stDown
+)
+
+// Timeline is the reconstructed run.
+type Timeline struct {
+	// End is the time of the last event.
+	End float64
+	// Nodes is the number of node lanes.
+	Nodes int
+	// changes per node: time-ordered (time, state, vms) checkpoints.
+	changes [][]change
+	// completions, migrations, failures summarize the run.
+	Completions, Migrations, Failures int
+}
+
+type change struct {
+	t     float64
+	state nodeState
+	vms   int
+}
+
+// FromEvents reconstructs a timeline. Events must be time-ordered (as
+// the harness emits them). The node count is inferred from the
+// highest node id seen.
+func FromEvents(events []datacenter.Event) (*Timeline, error) {
+	maxNode := -1
+	for _, e := range events {
+		if e.Node > maxNode {
+			maxNode = e.Node
+		}
+		if e.Aux > maxNode {
+			maxNode = e.Aux
+		}
+	}
+	tl := &Timeline{Nodes: maxNode + 1}
+	if tl.Nodes == 0 {
+		return nil, fmt.Errorf("timeline: no node events")
+	}
+	tl.changes = make([][]change, tl.Nodes)
+
+	state := make([]nodeState, tl.Nodes)
+	vms := make([]int, tl.Nodes)
+	vmHost := map[int]int{}
+	lastT := -1.0
+
+	record := func(n int, t float64) {
+		tl.changes[n] = append(tl.changes[n], change{t: t, state: state[n], vms: vms[n]})
+	}
+	for _, e := range events {
+		if e.Time < lastT {
+			return nil, fmt.Errorf("timeline: events out of order at t=%v", e.Time)
+		}
+		lastT = e.Time
+		tl.End = e.Time
+		switch e.Kind {
+		case datacenter.EvBoot:
+			state[e.Node] = stBoot
+			record(e.Node, e.Time)
+		case datacenter.EvBooted:
+			state[e.Node] = stOn
+			record(e.Node, e.Time)
+		case datacenter.EvOff:
+			state[e.Node] = stOff
+			record(e.Node, e.Time)
+		case datacenter.EvFailed:
+			tl.Failures++
+			state[e.Node] = stDown
+			vms[e.Node] = 0
+			record(e.Node, e.Time)
+		case datacenter.EvRepaired:
+			state[e.Node] = stOff
+			record(e.Node, e.Time)
+		case datacenter.EvPlace:
+			vms[e.Node]++
+			vmHost[e.VM] = e.Node
+			record(e.Node, e.Time)
+		case datacenter.EvMigrateStart:
+			// Reservation appears on the destination.
+			vms[e.Aux]++
+			record(e.Aux, e.Time)
+		case datacenter.EvMigrated:
+			tl.Migrations++
+			vms[e.Node]-- // source releases
+			vmHost[e.VM] = e.Aux
+			record(e.Node, e.Time)
+		case datacenter.EvCompleted:
+			tl.Completions++
+			if h, ok := vmHost[e.VM]; ok {
+				vms[h]--
+				delete(vmHost, e.VM)
+				record(h, e.Time)
+			}
+		case datacenter.EvRequeued:
+			if h, ok := vmHost[e.VM]; ok {
+				if state[h] != stDown {
+					vms[h]--
+					record(h, e.Time)
+				}
+				delete(vmHost, e.VM)
+			}
+		}
+	}
+	return tl, nil
+}
+
+// Render draws the chart with the given width (time buckets). Lanes
+// are ordered by node id; nodes that never left the Off state are
+// compressed into a single summary line.
+func (tl *Timeline) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tl.End <= 0 {
+		return "(empty timeline)\n"
+	}
+	bucket := tl.End / float64(width)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.1f h across %d nodes (each column ≈ %.0f s)\n",
+		tl.End/3600, tl.Nodes, bucket)
+	idle := 0
+	for n := 0; n < tl.Nodes; n++ {
+		lane := tl.lane(n, width, bucket)
+		if strings.Count(lane, ".") == len(lane) {
+			idle++
+			continue
+		}
+		fmt.Fprintf(&b, "node%-3d %s\n", n, lane)
+	}
+	if idle > 0 {
+		fmt.Fprintf(&b, "(%d nodes stayed off the whole run)\n", idle)
+	}
+	fmt.Fprintf(&b, "jobs completed %d · migrations %d · failures %d\n",
+		tl.Completions, tl.Migrations, tl.Failures)
+	return b.String()
+}
+
+// lane renders one node's row.
+func (tl *Timeline) lane(n, width int, bucket float64) string {
+	chs := tl.changes[n]
+	out := make([]byte, width)
+	cur := change{state: stOff}
+	ci := 0
+	for w := 0; w < width; w++ {
+		t := float64(w) * bucket
+		for ci < len(chs) && chs[ci].t <= t {
+			cur = chs[ci]
+			ci++
+		}
+		out[w] = glyph(cur)
+	}
+	return string(out)
+}
+
+func glyph(c change) byte {
+	switch c.state {
+	case stOff:
+		return '.'
+	case stBoot:
+		return '%'
+	case stDown:
+		return 'X'
+	default:
+		switch {
+		case c.vms <= 0:
+			return '_'
+		case c.vms > 9:
+			return '+'
+		default:
+			return byte('0' + c.vms)
+		}
+	}
+}
+
+// Utilization returns the fraction of node-buckets spent on (booting,
+// idle or working) — a quick consolidation indicator.
+func (tl *Timeline) Utilization(width int) float64 {
+	if tl.End <= 0 || tl.Nodes == 0 {
+		return 0
+	}
+	bucket := tl.End / float64(width)
+	on := 0
+	for n := 0; n < tl.Nodes; n++ {
+		lane := tl.lane(n, width, bucket)
+		on += len(lane) - strings.Count(lane, ".")
+	}
+	return float64(on) / float64(width*tl.Nodes)
+}
+
+// SortedKinds lists the event kinds the reconstructor understands, for
+// diagnostics.
+func SortedKinds() []string {
+	ks := []string{
+		string(datacenter.EvArrival), string(datacenter.EvPlace),
+		string(datacenter.EvCreated), string(datacenter.EvMigrateStart),
+		string(datacenter.EvMigrated), string(datacenter.EvCompleted),
+		string(datacenter.EvBoot), string(datacenter.EvBooted),
+		string(datacenter.EvOff), string(datacenter.EvFailed),
+		string(datacenter.EvRepaired), string(datacenter.EvRequeued),
+	}
+	sort.Strings(ks)
+	return ks
+}

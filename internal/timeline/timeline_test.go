@@ -1,0 +1,144 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+
+	"energysched/internal/datacenter"
+	"energysched/internal/policy"
+	"energysched/internal/workload"
+)
+
+func ev(t float64, kind datacenter.EventKind, vm, node, aux int) datacenter.Event {
+	return datacenter.Event{Time: t, Kind: kind, VM: vm, Node: node, Aux: aux}
+}
+
+func TestFromEventsBasicLifecycle(t *testing.T) {
+	events := []datacenter.Event{
+		ev(0, datacenter.EvBoot, -1, 0, -1),
+		ev(100, datacenter.EvBooted, -1, 0, -1),
+		ev(110, datacenter.EvPlace, 7, 0, -1),
+		ev(150, datacenter.EvCreated, 7, 0, -1),
+		ev(500, datacenter.EvCompleted, 7, 0, -1),
+		ev(600, datacenter.EvOff, -1, 0, -1),
+		ev(1000, datacenter.EvArrival, 8, -1, -1),
+	}
+	tl, err := FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Nodes != 1 || tl.Completions != 1 {
+		t.Fatalf("nodes=%d completions=%d", tl.Nodes, tl.Completions)
+	}
+	lane := tl.lane(0, 100, tl.End/100)
+	// Expect booting, then 1 VM, then idle/off tail.
+	if !strings.Contains(lane, "%") || !strings.Contains(lane, "1") || !strings.Contains(lane, ".") {
+		t.Errorf("lane = %q", lane)
+	}
+}
+
+func TestFromEventsMigrationMovesOccupancy(t *testing.T) {
+	events := []datacenter.Event{
+		ev(0, datacenter.EvBooted, -1, 0, -1),
+		ev(0, datacenter.EvBooted, -1, 1, -1),
+		ev(10, datacenter.EvPlace, 1, 0, -1),
+		ev(50, datacenter.EvCreated, 1, 0, -1),
+		ev(100, datacenter.EvMigrateStart, 1, 0, 1),
+		ev(160, datacenter.EvMigrated, 1, 0, 1),
+		ev(400, datacenter.EvCompleted, 1, 1, -1),
+	}
+	tl, err := FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Migrations != 1 || tl.Completions != 1 {
+		t.Fatalf("migrations=%d completions=%d", tl.Migrations, tl.Completions)
+	}
+	// After the cut-over, node 0 is empty and node 1 hosts the VM.
+	l0 := tl.lane(0, 40, tl.End/40)
+	l1 := tl.lane(1, 40, tl.End/40)
+	if !strings.Contains(l0[20:], "_") {
+		t.Errorf("source lane after migration = %q", l0)
+	}
+	if !strings.Contains(l1[20:], "1") {
+		t.Errorf("destination lane after migration = %q", l1)
+	}
+}
+
+func TestFromEventsFailure(t *testing.T) {
+	events := []datacenter.Event{
+		ev(0, datacenter.EvBooted, -1, 0, -1),
+		ev(10, datacenter.EvPlace, 1, 0, -1),
+		ev(100, datacenter.EvFailed, -1, 0, -1),
+		ev(100, datacenter.EvRequeued, 1, -1, -1),
+		ev(700, datacenter.EvRepaired, -1, 0, -1),
+	}
+	tl, err := FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Failures != 1 {
+		t.Fatalf("failures = %d", tl.Failures)
+	}
+	lane := tl.lane(0, 70, tl.End/70)
+	if !strings.Contains(lane, "X") {
+		t.Errorf("lane lacks failure glyph: %q", lane)
+	}
+}
+
+func TestFromEventsValidation(t *testing.T) {
+	if _, err := FromEvents(nil); err == nil {
+		t.Error("empty event list accepted")
+	}
+	bad := []datacenter.Event{
+		ev(100, datacenter.EvBooted, -1, 0, -1),
+		ev(50, datacenter.EvOff, -1, 0, -1),
+	}
+	if _, err := FromEvents(bad); err == nil {
+		t.Error("out-of-order events accepted")
+	}
+}
+
+func TestEndToEndWithHarness(t *testing.T) {
+	gen := workload.DefaultGeneratorConfig()
+	gen.Horizon = 6 * 3600
+	trace := workload.MustGenerate(gen)
+	var events []datacenter.Event
+	sim, err := datacenter.New(datacenter.Config{
+		Trace:    trace,
+		Policy:   policy.NewBackfilling(),
+		Seed:     1,
+		EventLog: func(e datacenter.Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Completions != rep.JobsCompleted {
+		t.Errorf("timeline completions %d vs report %d", tl.Completions, rep.JobsCompleted)
+	}
+	out := tl.Render(80)
+	if !strings.Contains(out, "jobs completed") {
+		t.Errorf("render output truncated:\n%s", out)
+	}
+	if u := tl.Utilization(80); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestRenderEmptyAndNarrow(t *testing.T) {
+	tl := &Timeline{Nodes: 1, changes: make([][]change, 1)}
+	if got := tl.Render(5); !strings.Contains(got, "empty") {
+		t.Errorf("empty render = %q", got)
+	}
+	if len(SortedKinds()) != 12 {
+		t.Errorf("kinds = %v", SortedKinds())
+	}
+}

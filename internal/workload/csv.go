@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the native trace column set.
+var csvHeader = []string{"id", "name", "submit_s", "duration_s", "cpu_pct", "mem_units", "deadline_factor", "fault_tolerance", "arch", "hypervisor"}
+
+// WriteCSV serializes a trace in the native CSV format (header +
+// one row per job).
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, j := range t.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			j.Name,
+			strconv.FormatFloat(j.Submit, 'f', 3, 64),
+			strconv.FormatFloat(j.Duration, 'f', 3, 64),
+			strconv.FormatFloat(j.CPU, 'f', 1, 64),
+			strconv.FormatFloat(j.Mem, 'f', 2, 64),
+			strconv.FormatFloat(j.DeadlineFactor, 'f', 4, 64),
+			strconv.FormatFloat(j.FaultTolerance, 'f', 4, 64),
+			j.Arch,
+			j.Hypervisor,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the native CSV trace format.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty csv trace")
+	}
+	if rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("workload: missing csv header (first cell %q)", rows[0][0])
+	}
+	tr := &Trace{}
+	for i, rec := range rows[1:] {
+		j, err := parseCSVRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i+2, err)
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func parseCSVRow(rec []string) (Job, error) {
+	var j Job
+	var err error
+	if j.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return j, fmt.Errorf("bad id %q: %w", rec[0], err)
+	}
+	j.Name = rec[1]
+	fields := []struct {
+		dst *float64
+		col int
+	}{
+		{&j.Submit, 2}, {&j.Duration, 3}, {&j.CPU, 4},
+		{&j.Mem, 5}, {&j.DeadlineFactor, 6}, {&j.FaultTolerance, 7},
+	}
+	for _, f := range fields {
+		if *f.dst, err = strconv.ParseFloat(rec[f.col], 64); err != nil {
+			return j, fmt.Errorf("bad %s %q: %w", csvHeader[f.col], rec[f.col], err)
+		}
+	}
+	j.Arch = rec[8]
+	j.Hypervisor = rec[9]
+	return j, nil
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadGWF parses a trace in the Grid Workloads Format used by the
+// Grid Workloads Archive (gwa.ewi.tudelft.nl), the source of the
+// paper's Grid5000 trace. GWF is whitespace-separated with '#'
+// comments; the columns used here are the standard first eleven:
+//
+//	0 JobID  1 SubmitTime  2 WaitTime  3 RunTime  4 NProcs
+//	5 AverageCPUTimeUsed  6 UsedMemory  7 ReqNProcs  8 ReqTime
+//	9 ReqMemory  10 Status
+//
+// Jobs with non-positive runtime or processor counts are skipped, as
+// is conventional when replaying archive traces (cancelled and failed
+// submissions). opts tunes the conversion into the simulator's model.
+func ReadGWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
+	opts = opts.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	tr := &Trace{}
+	line := 0
+	var t0 float64
+	first := true
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, ";") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 5 {
+			return nil, fmt.Errorf("workload: gwf line %d: %d fields, need >= 5", line, len(f))
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: gwf line %d: bad job id %q", line, f[0])
+		}
+		submit, err1 := strconv.ParseFloat(f[1], 64)
+		run, err2 := strconv.ParseFloat(f[3], 64)
+		procs, err3 := strconv.ParseFloat(f[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("workload: gwf line %d: bad numeric field", line)
+		}
+		if run <= 0 || procs <= 0 {
+			continue // cancelled / failed submissions
+		}
+		if first {
+			t0 = submit
+			first = false
+		}
+		j := opts.convert(id, submit-t0, run, procs)
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading gwf: %w", err)
+	}
+	tr.Sort()
+	return tr, nil
+}
+
+// ReadSWF parses the Standard Workload Format (Feitelson's parallel
+// workloads archive). SWF columns:
+//
+//	0 JobID  1 SubmitTime  2 WaitTime  3 RunTime  4 AllocatedProcs ...
+//
+// The layout coincides with the GWF prefix for the fields we consume,
+// so the same conversion applies.
+func ReadSWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
+	return ReadGWF(r, opts)
+}
+
+// ConvertOptions controls how archive jobs map into the simulator's
+// VM-shaped jobs.
+type ConvertOptions struct {
+	// CPUPerProc is the CPU percent granted per allocated processor
+	// (default 100).
+	CPUPerProc float64
+	// MaxVCPUs caps the per-job CPU at MaxVCPUs × 100 so archive jobs
+	// wider than one node are folded into a node-sized VM, as the
+	// paper's single-VM-per-job model requires (default 4).
+	MaxVCPUs int
+	// MemPerVCPU is memory units per VCPU (default 12).
+	MemPerVCPU float64
+	// DeadlineMin, DeadlineMax bound the deadline factor assigned
+	// deterministically per job (default 1.2–2.0).
+	DeadlineMin, DeadlineMax float64
+}
+
+func (o ConvertOptions) withDefaults() ConvertOptions {
+	if o.CPUPerProc <= 0 {
+		o.CPUPerProc = 100
+	}
+	if o.MaxVCPUs <= 0 {
+		o.MaxVCPUs = 4
+	}
+	if o.MemPerVCPU <= 0 {
+		o.MemPerVCPU = 12
+	}
+	if o.DeadlineMin < 1 {
+		o.DeadlineMin = 1.2
+	}
+	if o.DeadlineMax < o.DeadlineMin {
+		o.DeadlineMax = 2.0
+	}
+	return o
+}
+
+// convert folds an archive job into the simulator's model. Jobs wider
+// than MaxVCPUs are shrunk to MaxVCPUs with the duration stretched to
+// conserve total work, the usual folding when replaying cluster
+// traces on VM-sized slots.
+func (o ConvertOptions) convert(id int, submit, run, procs float64) Job {
+	vcpus := procs
+	max := float64(o.MaxVCPUs)
+	dur := run
+	if vcpus > max {
+		dur = run * vcpus / max
+		vcpus = max
+	}
+	// Deterministic deadline factor from the job id, spanning the
+	// configured band — reproducible without a random stream.
+	span := o.DeadlineMax - o.DeadlineMin
+	factor := o.DeadlineMin + span*float64(id%97)/96.0
+	return Job{
+		ID:             id,
+		Name:           fmt.Sprintf("gwf-%d", id),
+		Submit:         submit,
+		Duration:       dur,
+		CPU:            vcpus * o.CPUPerProc,
+		Mem:            vcpus * o.MemPerVCPU,
+		DeadlineFactor: factor,
+	}
+}

@@ -1,0 +1,144 @@
+// Package workload provides the job traces driving the simulation:
+// the native trace model, readers for the Grid Workloads Format (GWF)
+// and the Standard Workload Format (SWF) used by the Grid Workloads
+// Archive the paper draws from, a CSV serialization for generated
+// traces, and a synthetic generator calibrated to the aggregate
+// statistics of the Grid5000 week the paper evaluates on.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one HPC job to be encapsulated in a VM.
+type Job struct {
+	// ID is the job's identity within the trace.
+	ID int
+	// Name is an optional label (original trace job id).
+	Name string
+	// Submit is the arrival time in seconds from trace start.
+	Submit float64
+	// Duration is the execution time on a dedicated machine, seconds.
+	Duration float64
+	// CPU requirement in percent (100 = one core).
+	CPU float64
+	// Mem requirement in abstract units (node offers 100).
+	Mem float64
+	// DeadlineFactor multiplies Duration to produce the SLA deadline
+	// (paper: 1.2–2.0 depending on job and user typology).
+	DeadlineFactor float64
+	// FaultTolerance is the job's Ftol in [0,1].
+	FaultTolerance float64
+	// Arch pins the job to an architecture ("" = any); part of the
+	// hardware requirements P_req checks (§III-A1).
+	Arch string
+	// Hypervisor pins the job to a hypervisor ("" = any).
+	Hypervisor string
+}
+
+// Deadline returns the absolute completion deadline.
+func (j Job) Deadline() float64 { return j.Submit + j.DeadlineFactor*j.Duration }
+
+// Validate reports whether the job is well-formed.
+func (j Job) Validate() error {
+	if j.Submit < 0 {
+		return fmt.Errorf("workload: job %d has negative submit %.1f", j.ID, j.Submit)
+	}
+	if j.Duration <= 0 {
+		return fmt.Errorf("workload: job %d has non-positive duration %.1f", j.ID, j.Duration)
+	}
+	if j.CPU <= 0 {
+		return fmt.Errorf("workload: job %d has non-positive CPU %.1f", j.ID, j.CPU)
+	}
+	if j.Mem < 0 {
+		return fmt.Errorf("workload: job %d has negative memory %.1f", j.ID, j.Mem)
+	}
+	if j.DeadlineFactor < 1 {
+		return fmt.Errorf("workload: job %d deadline factor %.2f below 1", j.ID, j.DeadlineFactor)
+	}
+	return nil
+}
+
+// Trace is an ordered sequence of jobs.
+type Trace struct {
+	Jobs []Job
+}
+
+// Validate checks every job and submission ordering.
+func (t *Trace) Validate() error {
+	for i := range t.Jobs {
+		if err := t.Jobs[i].Validate(); err != nil {
+			return err
+		}
+		if i > 0 && t.Jobs[i].Submit < t.Jobs[i-1].Submit {
+			return fmt.Errorf("workload: job %d submitted at %.1f before predecessor %.1f",
+				t.Jobs[i].ID, t.Jobs[i].Submit, t.Jobs[i-1].Submit)
+		}
+	}
+	return nil
+}
+
+// Sort orders jobs by submission time (stable), renumbering nothing.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Jobs, func(i, j int) bool { return t.Jobs[i].Submit < t.Jobs[j].Submit })
+}
+
+// Len returns the number of jobs.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// Makespan returns the latest submit time plus that job's duration —
+// a lower bound on the simulation horizon.
+func (t *Trace) Makespan() float64 {
+	var m float64
+	for _, j := range t.Jobs {
+		if end := j.Submit + j.Duration; end > m {
+			m = end
+		}
+	}
+	return m
+}
+
+// TotalCPUHours returns the aggregate work in CPU-hours: Σ CPU/100 ×
+// Duration/3600. The paper's Grid week executes ≈ 6 055 CPU h.
+func (t *Trace) TotalCPUHours() float64 {
+	var sum float64
+	for _, j := range t.Jobs {
+		sum += (j.CPU / 100) * (j.Duration / 3600)
+	}
+	return sum
+}
+
+// Stats summarizes a trace for reporting.
+type Stats struct {
+	Jobs        int
+	CPUHours    float64
+	MeanCPU     float64
+	MeanMem     float64
+	MeanRuntime float64
+	MaxRuntime  float64
+	Span        float64 // last submit − first submit
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	s := Stats{Jobs: len(t.Jobs), CPUHours: t.TotalCPUHours()}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	var cpu, mem, run float64
+	for _, j := range t.Jobs {
+		cpu += j.CPU
+		mem += j.Mem
+		run += j.Duration
+		if j.Duration > s.MaxRuntime {
+			s.MaxRuntime = j.Duration
+		}
+	}
+	n := float64(len(t.Jobs))
+	s.MeanCPU = cpu / n
+	s.MeanMem = mem / n
+	s.MeanRuntime = run / n
+	s.Span = t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
+	return s
+}
