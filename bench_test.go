@@ -233,8 +233,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
-func BenchmarkScoreSolverRound(b *testing.B) {
-	// One scheduling round over 100 hosts × 64 candidate VMs.
+// solverRoundCtx is one scheduling round over 100 hosts × 64
+// candidate VMs, the workload of the solver micro benchmarks.
+func solverRoundCtx() *policy.Context {
 	cls := cluster.MustNew(cluster.PaperClasses())
 	for _, n := range cls.Nodes {
 		n.State = cluster.On
@@ -243,10 +244,43 @@ func BenchmarkScoreSolverRound(b *testing.B) {
 	for i := 0; i < 64; i++ {
 		queue = append(queue, vm.New(i, vm.Requirements{CPU: float64(100 * (1 + i%4)), Mem: 5}, 0, 3600, 7200))
 	}
-	ctx := &policy.Context{Now: 0, Cluster: cls, Queue: queue, LambdaMin: 0.3, LambdaMax: 0.9}
+	return &policy.Context{Now: 0, Cluster: cls, Queue: queue, LambdaMin: 0.3, LambdaMax: 0.9}
+}
+
+func benchSolverRound(b *testing.B, cfg core.Config) {
+	ctx := solverRoundCtx()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sch := core.MustScheduler(core.SBConfig())
+		sch := core.MustScheduler(cfg)
+		sch.Schedule(ctx)
+	}
+}
+
+// The incremental solver: matrix cached once per round, dirty columns
+// recomputed after each move, O(V) best-move selection.
+func BenchmarkScoreSolverRound(b *testing.B) {
+	benchSolverRound(b, core.SBConfig())
+}
+
+// The naive reference evaluator (Algorithm 1 as written): the full
+// V×H matrix is rescored on every hill-climbing iteration. The ratio
+// against BenchmarkScoreSolverRound is the headline solver speedup.
+func BenchmarkScoreSolverRoundNaive(b *testing.B) {
+	cfg := core.SBConfig()
+	cfg.NaiveSolver = true
+	benchSolverRound(b, cfg)
+}
+
+// Steady state: one scheduler reused across rounds, exercising the
+// scratch-buffer reuse (shadow, candidate slice, cached matrix).
+func BenchmarkScoreSolverRoundSteady(b *testing.B) {
+	ctx := solverRoundCtx()
+	sch := core.MustScheduler(core.SBConfig())
+	sch.Schedule(ctx) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		sch.Schedule(ctx)
 	}
 }

@@ -1,0 +1,3 @@
+module energysched
+
+go 1.24

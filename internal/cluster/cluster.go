@@ -76,13 +76,19 @@ func (c *Cluster) Counts() (working, online int) {
 
 // OnlineNodes returns the operational (On) nodes.
 func (c *Cluster) OnlineNodes() []*Node {
-	var out []*Node
+	return c.AppendOnline(nil)
+}
+
+// AppendOnline appends the operational (On) nodes to buf and returns
+// it — the allocation-free variant of OnlineNodes for hot paths that
+// keep a scratch buffer.
+func (c *Cluster) AppendOnline(buf []*Node) []*Node {
 	for _, n := range c.Nodes {
 		if n.State == On {
-			out = append(out, n)
+			buf = append(buf, n)
 		}
 	}
-	return out
+	return buf
 }
 
 // OffNodes returns nodes that are powered off (and not failed).

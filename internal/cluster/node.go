@@ -201,13 +201,15 @@ func (n *Node) Fits(r vm.Requirements) bool {
 // architecture and hypervisor compatibility and that the VM's single
 // largest demand is within the node's physical size.
 func (n *Node) Satisfies(r vm.Requirements) bool {
+	// Numeric checks first: they are branch-cheap, while the string
+	// comparisons below cost real time on the scheduler's hot path.
+	if r.CPU > n.Class.CPU || r.Mem > n.Class.Mem {
+		return false
+	}
 	if r.Arch != "" && n.Class.Arch != "" && r.Arch != n.Class.Arch {
 		return false
 	}
 	if r.Hypervisor != "" && n.Class.Hypervisor != "" && r.Hypervisor != n.Class.Hypervisor {
-		return false
-	}
-	if r.CPU > n.Class.CPU || r.Mem > n.Class.Mem {
 		return false
 	}
 	return true

@@ -64,6 +64,12 @@ type Config struct {
 	// highest-benefit move (the paper uses ∞; a large finite value
 	// avoids ∞−∞ in the improvement arithmetic).
 	QueueScore float64
+	// NaiveSolver disables the incremental score-matrix cache and
+	// re-evaluates the full V×H matrix on every hill-climbing
+	// iteration, exactly as Algorithm 1 is written. Both solvers emit
+	// identical actions; the naive one exists as the reference oracle
+	// for differential testing and the complexity ablation.
+	NaiveSolver bool
 }
 
 // DefaultConfig returns the paper's evaluation parameters (§V):

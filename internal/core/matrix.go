@@ -3,11 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"energysched/internal/policy"
-	"energysched/internal/vm"
 )
 
 // Matrix is a rendered score matrix, the artifact §III-B of the paper
@@ -35,20 +33,13 @@ type Matrix struct {
 }
 
 // Matrix computes the score matrix for the given context without
-// applying any moves. Candidate selection matches Schedule: queued
-// VMs always, running VMs only when migration is enabled.
+// applying any moves. Candidate selection is shared with Schedule
+// (queued VMs always; running VMs only when migration is enabled and
+// they are outside the migration cooldown), so operators never see
+// columns for VMs the solver would not consider.
 func (sch *Scheduler) Matrix(ctx *policy.Context) *Matrix {
 	hosts := ctx.Cluster.OnlineNodes()
-	var cands []*vm.VM
-	cands = append(cands, ctx.Queue...)
-	if sch.cfg.Migration {
-		for _, v := range ctx.Active {
-			if v.State == vm.Running {
-				cands = append(cands, v)
-			}
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	cands := sch.candidates(ctx, nil)
 
 	s := newShadow(ctx.Now, hosts, cands)
 	m := &Matrix{}

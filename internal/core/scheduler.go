@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"energysched/internal/cluster"
@@ -12,10 +14,20 @@ import (
 // Scheduler is the score-based scheduling policy. It implements
 // policy.Policy so the datacenter harness can drive it exactly like
 // the baselines.
+//
+// The solver keeps its working state (candidate slice, shadow loads,
+// the cached score matrix and per-VM best-move records) as scratch
+// buffers on the Scheduler, so steady-state rounds are allocation-free.
 type Scheduler struct {
 	cfg Config
 	// Stats accumulates solver diagnostics across rounds.
 	Stats SolverStats
+
+	// --- scratch buffers reused across rounds ---
+	hosts []*cluster.Node
+	cands []*vm.VM
+	sh    shadow
+	inc   incState
 }
 
 // SolverStats counts solver work for the complexity ablation.
@@ -28,6 +40,14 @@ type SolverStats struct {
 	ScoreEvals int
 	// LimitHits counts rounds stopped by the iteration limit.
 	LimitHits int
+	// ColRefreshes counts dirty-column recomputations performed by the
+	// incremental solver: two per applied migration, one per queue
+	// placement (a queued VM has no source column to invalidate).
+	ColRefreshes int
+	// RowRescans counts per-VM best-move rescans triggered because a
+	// dirty column invalidated a cached best (no score evaluations are
+	// spent on a rescan; it re-reads the cached matrix).
+	RowRescans int
 }
 
 // NewScheduler builds a score-based scheduler with the given
@@ -57,29 +77,21 @@ func (sch *Scheduler) Migratory() bool { return sch.cfg.Migration }
 // Config returns the scheduler's configuration.
 func (sch *Scheduler) Config() Config { return sch.cfg }
 
-// Schedule implements policy.Policy: it builds the score matrix over
-// operational hosts × candidate VMs and hill-climbs it (Algorithm 1),
-// returning the placements and migrations that realize the improved
-// assignment.
-func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
-	sch.Stats.Rounds++
-
-	hosts := ctx.Cluster.OnlineNodes()
-	if len(hosts) == 0 {
-		return nil
-	}
-
-	// Candidate VMs: every queued VM, plus — when migration is
-	// enabled — every running VM (creating/migrating VMs are pinned
-	// by the in-operation rule and only add noise, so they are left
-	// out of the matrix entirely).
-	cooldown := sch.cfg.MigrationCooldown
-	if cooldown == 0 {
-		cooldown = 3600
-	}
-	var cands []*vm.VM
+// candidates collects the VMs the solver considers this round into
+// buf, sorted by ID: every queued VM, plus — when migration is enabled
+// — every running VM outside its migration cooldown (creating and
+// migrating VMs are pinned by the in-operation rule and only add
+// noise, so they are left out of the matrix entirely). Both Schedule
+// and Matrix select candidates through here so the explainability
+// matrix never shows columns the solver would not consider.
+func (sch *Scheduler) candidates(ctx *policy.Context, buf []*vm.VM) []*vm.VM {
+	cands := buf[:0]
 	cands = append(cands, ctx.Queue...)
 	if sch.cfg.Migration {
+		cooldown := sch.cfg.MigrationCooldown
+		if cooldown == 0 {
+			cooldown = 3600
+		}
 		for _, v := range ctx.Active {
 			if v.State != vm.Running {
 				continue
@@ -90,13 +102,81 @@ func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
 			cands = append(cands, v)
 		}
 	}
+	slices.SortFunc(cands, func(a, b *vm.VM) int { return cmp.Compare(a.ID, b.ID) })
+	return cands
+}
+
+// iterationLimit bounds the hill-climbing loop for a round over n
+// candidates.
+func (sch *Scheduler) iterationLimit(n int) int {
+	limit := sch.cfg.MaxIterations
+	if limit <= 0 {
+		limit = 4 * n
+		if limit < 32 {
+			limit = 32
+		}
+	}
+	return limit
+}
+
+// Schedule implements policy.Policy: it builds the score matrix over
+// operational hosts × candidate VMs and hill-climbs it (Algorithm 1),
+// returning the placements and migrations that realize the improved
+// assignment.
+//
+// The default solver computes the matrix once and then maintains it
+// incrementally: a move touches only the loads of its two endpoint
+// hosts, so after each move only those two columns and the moved VM's
+// row are recomputed, and each iteration picks the global best move
+// from per-VM best-move records in O(V) instead of rescoring the full
+// V×H matrix. Config.NaiveSolver restores the reference evaluator for
+// differential verification; both emit identical actions.
+func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
+	sch.Stats.Rounds++
+
+	sch.hosts = ctx.Cluster.AppendOnline(sch.hosts[:0])
+	hosts := sch.hosts
+	if len(hosts) == 0 {
+		return nil
+	}
+
+	sch.cands = sch.candidates(ctx, sch.cands)
+	cands := sch.cands
 	if len(cands) == 0 {
 		return nil
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
 
-	s := newShadow(ctx.Now, hosts, cands)
+	s := &sch.sh
+	s.reset(ctx.Now, hosts, cands)
 
+	if sch.cfg.NaiveSolver {
+		sch.solveNaive(s, hosts, cands)
+	} else {
+		sch.solveIncremental(s, hosts, cands)
+	}
+
+	// Emit the actions that realize the final assignment.
+	var out []policy.Action
+	for vi, v := range cands {
+		from, to := s.initial[vi], s.assign[vi]
+		if from == to || to < 0 {
+			continue
+		}
+		node := hosts[to].ID
+		if v.State == vm.Queued {
+			out = append(out, policy.Place{VM: v, Node: node})
+		} else {
+			out = append(out, policy.Migrate{VM: v, To: node})
+		}
+	}
+	return out
+}
+
+// solveNaive is the reference hill climber: every iteration rescans
+// the entire V×H matrix, recomputing each score against the current
+// shadow. O(I·V·H) score evaluations; kept as the differential-test
+// oracle for the incremental solver.
+func (sch *Scheduler) solveNaive(s *shadow, hosts []*cluster.Node, cands []*vm.VM) {
 	// currentScore(vi): the cost of keeping the VM where it is — the
 	// virtual-host queue cost for queued VMs, its present host's
 	// score for running ones. Recomputed each iteration because moves
@@ -109,14 +189,7 @@ func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
 		return sch.score(s, s.assign[vi], vi)
 	}
 
-	limit := sch.cfg.MaxIterations
-	if limit <= 0 {
-		limit = 4 * len(cands)
-		if limit < 32 {
-			limit = 32
-		}
-	}
-
+	limit := sch.iterationLimit(len(cands))
 	const eps = 1e-9
 	moves := 0
 	for iter := 0; iter < limit; iter++ {
@@ -166,22 +239,6 @@ func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
 		}
 	}
 	sch.Stats.Moves += moves
-
-	// Emit the actions that realize the final assignment.
-	var out []policy.Action
-	for vi, v := range cands {
-		from, to := s.initial[vi], s.assign[vi]
-		if from == to || to < 0 {
-			continue
-		}
-		node := hosts[to].ID
-		if v.State == vm.Queued {
-			out = append(out, policy.Place{VM: v, Node: node})
-		} else {
-			out = append(out, policy.Migrate{VM: v, To: node})
-		}
-	}
-	return out
 }
 
 // RankOff orders idle nodes by descending turn-off preference, per

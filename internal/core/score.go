@@ -23,36 +23,61 @@ type shadow struct {
 	initial []int
 	vms     []*vm.VM
 	now     float64
+	// byID maps node ID -> node index; kept on the shadow so the
+	// scheduler's scratch shadow reuses it across rounds.
+	byID map[int]int
 }
 
 func newShadow(now float64, nodes []*cluster.Node, vms []*vm.VM) *shadow {
-	s := &shadow{
-		nodes:   nodes,
-		cpu:     make([]float64, len(nodes)),
-		mem:     make([]float64, len(nodes)),
-		count:   make([]int, len(nodes)),
-		assign:  make([]int, len(vms)),
-		initial: make([]int, len(vms)),
-		vms:     vms,
-		now:     now,
+	s := &shadow{}
+	s.reset(now, nodes, vms)
+	return s
+}
+
+// reset points the shadow at a new round's hosts and candidates,
+// reusing the previous round's slices and map when capacity allows.
+func (s *shadow) reset(now float64, nodes []*cluster.Node, vms []*vm.VM) {
+	s.nodes, s.vms, s.now = nodes, vms, now
+	s.cpu = grow(s.cpu, len(nodes))
+	s.mem = grow(s.mem, len(nodes))
+	s.count = grow(s.count, len(nodes))
+	s.assign = grow(s.assign, len(vms))
+	s.initial = grow(s.initial, len(vms))
+	if s.byID == nil {
+		s.byID = make(map[int]int, len(nodes))
+	} else {
+		clear(s.byID)
 	}
-	byID := make(map[int]int, len(nodes))
 	for i, n := range nodes {
-		byID[n.ID] = i
-		s.cpu[i] = n.CPUReserved()
-		s.mem[i] = n.MemReserved()
+		s.byID[n.ID] = i
+		// Single pass over the node's VM map (CPUReserved and
+		// MemReserved would each walk it separately).
+		var cpu, mem float64
+		for _, v := range n.VMs {
+			cpu += v.Req.CPU
+			mem += v.Req.Mem
+		}
+		s.cpu[i] = cpu
+		s.mem[i] = mem
 		s.count[i] = len(n.VMs)
 	}
 	for i, v := range vms {
 		s.assign[i] = -1
 		if v.Active() {
-			if idx, ok := byID[v.Host]; ok {
+			if idx, ok := s.byID[v.Host]; ok {
 				s.assign[i] = idx
 			}
 		}
 		s.initial[i] = s.assign[i]
 	}
-	return s
+}
+
+// grow returns a slice of length n, reusing buf's capacity.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 // move reassigns candidate vi to node index ni (must differ from the
@@ -115,8 +140,10 @@ func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
 		return math.Inf(1)
 	}
 	// P_res: resource requirements — occupation after allocation must
-	// not exceed 100 % (§III-A2).
-	if s.occupation(ni, vi) > 1.0+1e-9 {
+	// not exceed 100 % (§III-A2). Computed once here and shared with
+	// P_pwr below: occupation is the single hottest term of the score.
+	occ := s.occupation(ni, vi)
+	if occ > 1.0+1e-9 {
 		return math.Inf(1)
 	}
 
@@ -144,7 +171,7 @@ func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
 	// P_pwr: power efficiency — reward fillable hosts, punish
 	// emptiable ones (§III-A4).
 	if cfg.EnablePower {
-		total += sch.pPower(s, ni, vi)
+		total += sch.pPower(s, ni, vi, occ)
 	}
 
 	// P_SLA: dynamic SLA enforcement (§III-A5).
@@ -211,14 +238,15 @@ func (sch *Scheduler) pConc(n *cluster.Node, v *vm.VM, s *shadow, ni, vi int) fl
 
 // pPower implements P_pwr = Tempty(h)·Ce − O(h,vm)·Cf: hosts left
 // with few VMs are penalized (we want them drained and turned off),
-// and fuller hosts are rewarded to attract consolidation.
-func (sch *Scheduler) pPower(s *shadow, ni, vi int) float64 {
+// and fuller hosts are rewarded to attract consolidation. occ is the
+// already-computed occupation O(h,vm).
+func (sch *Scheduler) pPower(s *shadow, ni, vi int, occ float64) float64 {
 	cfg := &sch.cfg
 	p := 0.0
 	if s.vmCount(ni, vi) <= cfg.THempty {
 		p += cfg.Cempty
 	}
-	p -= s.occupation(ni, vi) * cfg.Cfill
+	p -= occ * cfg.Cfill
 	return p
 }
 

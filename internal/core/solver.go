@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+
+	"energysched/internal/cluster"
+	"energysched/internal/vm"
+)
+
+// The incremental solver exploits the structure of Score(h, vm): a
+// cell depends only on (a) round-static node and VM attributes, (b)
+// the shadow load of host h, and (c) whether the VM is currently
+// assigned to h. Applying move(vi, a→b) therefore invalidates exactly
+// the two endpoint columns a and b (their loads changed for every VM)
+// and the moved VM's own row (its assignment changed) — every other
+// cell is provably unchanged, so the cached value is bit-identical to
+// a fresh evaluation and the solver replays the naive hill climber's
+// decisions exactly.
+//
+// On top of the cached matrix, incState keeps one best-move record per
+// VM so each iteration picks the globally best move in O(V) instead of
+// O(V·H), turning a round from O(I·V·H) into O(V·H + I·(V+H)) score
+// evaluations.
+
+// incState is the incremental solver's working state: the cached score
+// matrix plus per-VM best-move records. All slices are scratch buffers
+// owned by the Scheduler and reused across rounds.
+type incState struct {
+	// m is the V×H score matrix, row-major: m[vi*H+ni] = Score(ni, vi).
+	// The cell at a VM's current assignment holds its current-host
+	// cost (the centering value), and is excluded from the best-move
+	// records below.
+	m []float64
+	// bestNi[vi] is the lowest node index achieving the minimum finite
+	// score in row vi excluding the current assignment (-1 = none);
+	// bestSc[vi] is that score (+Inf when bestNi is -1).
+	bestNi []int
+	bestSc []float64
+	// firstNi[vi] is the lowest node index with a finite score in row
+	// vi excluding the current assignment (-1 = none). It reproduces
+	// the naive tie-break when the VM's current host is infeasible:
+	// every feasible target then improves by -Inf and the naive scan
+	// keeps the first one it meets, which is not necessarily the
+	// minimum-score one.
+	firstNi []int
+}
+
+// reset sizes the state for a V×H round.
+func (st *incState) reset(v, h int) {
+	st.m = grow(st.m, v*h)
+	st.bestNi = grow(st.bestNi, v)
+	st.bestSc = grow(st.bestSc, v)
+	st.firstNi = grow(st.firstNi, v)
+}
+
+// solveIncremental runs the hill climber against the cached matrix.
+// It applies exactly the same sequence of moves as solveNaive.
+func (sch *Scheduler) solveIncremental(s *shadow, hosts []*cluster.Node, cands []*vm.VM) {
+	V, H := len(cands), len(hosts)
+	st := &sch.inc
+	st.reset(V, H)
+
+	// Build the full matrix once per round, tracking each row's
+	// best-move record in the same pass.
+	sch.Stats.ScoreEvals += V * H
+	for vi := 0; vi < V; vi++ {
+		row := vi * H
+		assign := s.assign[vi]
+		best, bestn, first := math.Inf(1), -1, -1
+		for ni := 0; ni < H; ni++ {
+			sc := sch.score(s, ni, vi)
+			st.m[row+ni] = sc
+			if ni == assign || math.IsInf(sc, 1) {
+				continue
+			}
+			if first < 0 {
+				first = ni
+			}
+			if sc < best {
+				best, bestn = sc, ni
+			}
+		}
+		st.bestSc[vi], st.bestNi[vi], st.firstNi[vi] = best, bestn, first
+	}
+
+	limit := sch.iterationLimit(V)
+	const eps = 1e-9
+	moves := 0
+	for iter := 0; iter < limit; iter++ {
+		// Pick the globally best move from the per-VM records. The
+		// scan order and strict comparisons replicate the naive
+		// evaluator's tie-breaks: earliest VM wins ties, and within a
+		// VM the record already holds the earliest qualifying host.
+		bestVI, bestNI := -1, -1
+		bestDiff := -eps
+		for vi := 0; vi < V; vi++ {
+			cur := sch.cfg.QueueScore
+			if a := s.assign[vi]; a >= 0 {
+				cur = st.m[vi*H+a]
+			}
+			var ni int
+			var diff float64
+			if math.IsInf(cur, 1) {
+				// Current host infeasible: any feasible target is an
+				// infinite improvement; the naive scan keeps the first.
+				ni = st.firstNi[vi]
+				if ni < 0 {
+					continue
+				}
+				diff = math.Inf(-1)
+			} else {
+				ni = st.bestNi[vi]
+				if ni < 0 {
+					continue
+				}
+				diff = st.bestSc[vi] - cur
+				threshold := -eps
+				if cands[vi].State != vm.Queued {
+					// Migration hysteresis (queued VMs are exempt).
+					threshold = -sch.cfg.MigrationGainMin
+				}
+				if diff > threshold {
+					continue
+				}
+			}
+			if diff < bestDiff {
+				bestDiff = diff
+				bestVI, bestNI = vi, ni
+			}
+		}
+		if bestVI < 0 {
+			break // no negative values left: suboptimal solution found
+		}
+		from := s.assign[bestVI]
+		s.move(bestVI, bestNI)
+		moves++
+		if iter == limit-1 {
+			sch.Stats.LimitHits++
+		}
+		sch.refreshAfterMove(s, st, bestVI, from, bestNI)
+	}
+	sch.Stats.Moves += moves
+}
+
+// refreshAfterMove re-scores the dirty region after move(movedVI,
+// from→to): the two endpoint columns (from is -1 when the VM left the
+// queue) for every VM, then the moved VM's full row.
+func (sch *Scheduler) refreshAfterMove(s *shadow, st *incState, movedVI, from, to int) {
+	if from >= 0 {
+		sch.refreshColumn(s, st, movedVI, from)
+	}
+	sch.refreshColumn(s, st, movedVI, to)
+
+	// The moved VM's assignment changed, so every cell of its row is
+	// suspect; the two endpoint columns are already fresh.
+	H := len(s.nodes)
+	row := movedVI * H
+	for ni := 0; ni < H; ni++ {
+		if ni == from || ni == to {
+			continue
+		}
+		sch.Stats.ScoreEvals++
+		st.m[row+ni] = sch.score(s, ni, movedVI)
+	}
+	st.rescanRow(sch, movedVI, H, s.assign[movedVI])
+}
+
+// refreshColumn re-scores column c for every VM and repairs the
+// per-VM best-move records it invalidates.
+func (sch *Scheduler) refreshColumn(s *shadow, st *incState, movedVI, c int) {
+	sch.Stats.ColRefreshes++
+	V, H := len(s.vms), len(s.nodes)
+	for vj := 0; vj < V; vj++ {
+		idx := vj*H + c
+		old := st.m[idx]
+		sch.Stats.ScoreEvals++
+		sc := sch.score(s, c, vj)
+		st.m[idx] = sc
+		if sc == old {
+			continue // unchanged (including +Inf staying +Inf)
+		}
+		if vj == movedVI {
+			continue // full row rescan follows in refreshAfterMove
+		}
+		if c == s.assign[vj] {
+			continue // the cell is vj's current-host cost, not a target
+		}
+		// Repair vj's best-move record.
+		if c == st.bestNi[vj] {
+			if sc <= st.bestSc[vj] {
+				// The cached best improved in place: still the lowest
+				// index achieving the (now smaller) minimum.
+				st.bestSc[vj] = sc
+				continue
+			}
+			st.rescanRow(sch, vj, H, s.assign[vj])
+			continue
+		}
+		if math.IsInf(sc, 1) {
+			if c == st.firstNi[vj] {
+				st.rescanRow(sch, vj, H, s.assign[vj])
+			}
+			continue
+		}
+		if st.firstNi[vj] < 0 || c < st.firstNi[vj] {
+			st.firstNi[vj] = c
+		}
+		if st.bestNi[vj] < 0 || sc < st.bestSc[vj] || (sc == st.bestSc[vj] && c < st.bestNi[vj]) {
+			st.bestNi[vj], st.bestSc[vj] = c, sc
+		}
+	}
+}
+
+// rescanRow rebuilds VM vi's best-move record from the cached matrix
+// row (no score evaluations), excluding the current assignment.
+func (st *incState) rescanRow(sch *Scheduler, vi, h, assign int) {
+	sch.Stats.RowRescans++
+	best, bestn, first := math.Inf(1), -1, -1
+	row := vi * h
+	for ni := 0; ni < h; ni++ {
+		if ni == assign {
+			continue
+		}
+		sc := st.m[row+ni]
+		if math.IsInf(sc, 1) {
+			continue
+		}
+		if first < 0 {
+			first = ni
+		}
+		if sc < best {
+			best, bestn = sc, ni
+		}
+	}
+	st.bestSc[vi], st.bestNi[vi], st.firstNi[vi] = best, bestn, first
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/cluster"
+	"energysched/internal/policy"
+	"energysched/internal/vm"
+)
+
+// The incremental solver must be observationally identical to the
+// naive reference evaluator: same actions in the same order, same
+// number of applied moves and limit hits — only ScoreEvals may differ
+// (that is the point). These tests drive both solvers over randomized
+// rounds covering host heterogeneity, offline/overcommitted nodes,
+// in-flight operations, queue/migration mixes, cooldowns and the
+// iteration limit.
+
+// renderActions flattens an action list into a comparable form.
+func renderActions(actions []policy.Action) []string {
+	out := make([]string, 0, len(actions))
+	for _, a := range actions {
+		switch act := a.(type) {
+		case policy.Place:
+			out = append(out, fmt.Sprintf("place vm%d -> n%d", act.VM.ID, act.Node))
+		case policy.Migrate:
+			out = append(out, fmt.Sprintf("migrate vm%d -> n%d", act.VM.ID, act.To))
+		default:
+			out = append(out, fmt.Sprintf("unknown %T", a))
+		}
+	}
+	return out
+}
+
+// randomScenario builds one scheduling round: a heterogeneous cluster
+// in a mixed power state and a population of queued, running,
+// creating and migrating VMs, some overcommitted, some cooling down.
+func randomScenario(r *rand.Rand) (*policy.Context, Config) {
+	nClasses := 1 + r.Intn(3)
+	classes := make([]cluster.Class, nClasses)
+	for i := range classes {
+		arch := "x86_64"
+		if r.Float64() < 0.15 {
+			arch = "arm64"
+		}
+		classes[i] = cluster.Class{
+			Name:        fmt.Sprintf("c%d", i),
+			Count:       1 + r.Intn(6),
+			CPU:         float64(200 + 200*r.Intn(3)),
+			Mem:         float64(50 + 50*r.Intn(2)),
+			CreateCost:  float64(20 + r.Intn(41)),
+			MigrateCost: float64(30 + r.Intn(61)),
+			BootTime:    100,
+			Arch:        arch,
+			Hypervisor:  "xen",
+			Reliability: 0.9 + 0.1*r.Float64(),
+		}
+	}
+	c := cluster.MustNew(classes)
+	for _, n := range c.Nodes {
+		switch {
+		case r.Float64() < 0.75:
+			n.State = cluster.On
+		case r.Float64() < 0.5:
+			n.State = cluster.Off
+		default:
+			n.State = cluster.Booting
+		}
+		if n.State == cluster.On && r.Float64() < 0.2 {
+			n.CreatingOps = r.Intn(3)
+			n.MigratingOps = r.Intn(2)
+		}
+	}
+
+	now := 5000 * r.Float64()
+	var queue, active []*vm.VM
+	nVMs := r.Intn(21)
+	for id := 0; id < nVMs; id++ {
+		req := vm.Requirements{
+			CPU: float64(50 * (1 + r.Intn(8))),
+			Mem: float64(5 * (1 + r.Intn(6))),
+		}
+		if r.Float64() < 0.1 {
+			req.Arch = "sparc" // infeasible everywhere
+		}
+		submit := now * r.Float64()
+		duration := 600 + 7200*r.Float64()
+		v := vm.New(id, req, submit, duration, submit+2*duration)
+		v.FaultTolerance = 0.05 * r.Float64()
+		switch {
+		case r.Float64() < 0.4:
+			queue = append(queue, v)
+		default:
+			// Place on a random node regardless of capacity:
+			// overcommit exercises the infeasible-current-host path.
+			n := c.Nodes[r.Intn(len(c.Nodes))]
+			v.Host = n.ID
+			n.VMs[v.ID] = v
+			v.Progress = v.Work * r.Float64()
+			switch {
+			case r.Float64() < 0.15:
+				v.State = vm.Creating
+				n.CreatingOps++
+			case r.Float64() < 0.15:
+				v.State = vm.Migrating
+				n.MigratingOps++
+			default:
+				v.State = vm.Running
+				if r.Float64() < 0.3 {
+					// Recently migrated: inside or near the cooldown.
+					v.LastMigrate = now - 4000*r.Float64()
+				}
+			}
+			active = append(active, v)
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.EnableVirt = r.Float64() < 0.8
+	cfg.EnableConc = r.Float64() < 0.8
+	cfg.EnablePower = r.Float64() < 0.9
+	cfg.EnableSLA = r.Float64() < 0.3
+	cfg.EnableFault = r.Float64() < 0.3
+	cfg.Migration = r.Float64() < 0.7
+	cfg.MigrationGainMin = []float64{0, 1, 35, 80}[r.Intn(4)]
+	cfg.MigrationCooldown = []float64{-1, 0, 600, 3600}[r.Intn(4)]
+	if r.Float64() < 0.3 {
+		cfg.MaxIterations = 1 + r.Intn(6) // exercise LimitHits parity
+	}
+
+	ctx := &policy.Context{
+		Now:       now,
+		Cluster:   c,
+		Queue:     queue,
+		Active:    active,
+		LambdaMin: 0.3,
+		LambdaMax: 0.9,
+	}
+	return ctx, cfg
+}
+
+func diffRound(t *testing.T, seed int, inc, nai *Scheduler, ctx *policy.Context) {
+	t.Helper()
+	incActs := renderActions(inc.Schedule(ctx))
+	naiActs := renderActions(nai.Schedule(ctx))
+	if len(incActs) != len(naiActs) {
+		t.Fatalf("seed %d: action count diverged: incremental %v vs naive %v", seed, incActs, naiActs)
+	}
+	for i := range incActs {
+		if incActs[i] != naiActs[i] {
+			t.Fatalf("seed %d: action %d diverged: incremental %q vs naive %q", seed, i, incActs[i], naiActs[i])
+		}
+	}
+}
+
+// TestDifferentialRandomRounds compares the two solvers over many
+// randomized single rounds with fresh schedulers.
+func TestDifferentialRandomRounds(t *testing.T) {
+	for seed := 0; seed < 300; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		ctx, cfg := randomScenario(r)
+		inc := MustScheduler(cfg)
+		naiCfg := cfg
+		naiCfg.NaiveSolver = true
+		nai := MustScheduler(naiCfg)
+		diffRound(t, seed, inc, nai, ctx)
+		if inc.Stats.Moves != nai.Stats.Moves {
+			t.Fatalf("seed %d: moves diverged: %d vs %d", seed, inc.Stats.Moves, nai.Stats.Moves)
+		}
+		if inc.Stats.LimitHits != nai.Stats.LimitHits {
+			t.Fatalf("seed %d: limit hits diverged: %d vs %d", seed, inc.Stats.LimitHits, nai.Stats.LimitHits)
+		}
+	}
+}
+
+// TestDifferentialScratchReuse drives one scheduler pair through many
+// rounds of different shapes, so the scratch buffers (candidate slice,
+// shadow, matrix) are exercised across reuse boundaries.
+func TestDifferentialScratchReuse(t *testing.T) {
+	cfg := SBConfig()
+	inc := MustScheduler(cfg)
+	naiCfg := cfg
+	naiCfg.NaiveSolver = true
+	nai := MustScheduler(naiCfg)
+	for seed := 1000; seed < 1100; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		ctx, _ := randomScenario(r)
+		diffRound(t, seed, inc, nai, ctx)
+	}
+}
+
+// TestIncrementalFewerEvals pins the complexity win: on a round big
+// enough to move many VMs, the incremental solver must spend far
+// fewer score evaluations than the naive one for the same actions.
+func TestIncrementalFewerEvals(t *testing.T) {
+	mkCtx := func() *policy.Context {
+		cls := cluster.PaperClasses()
+		c := cluster.MustNew(cls)
+		for _, n := range c.Nodes {
+			n.State = cluster.On
+		}
+		var queue []*vm.VM
+		for i := 0; i < 48; i++ {
+			queue = append(queue, vm.New(i, vm.Requirements{CPU: float64(100 * (1 + i%4)), Mem: 5}, 0, 3600, 7200))
+		}
+		return &policy.Context{Now: 0, Cluster: c, Queue: queue, LambdaMin: 0.3, LambdaMax: 0.9}
+	}
+	inc := MustScheduler(SBConfig())
+	naiCfg := SBConfig()
+	naiCfg.NaiveSolver = true
+	nai := MustScheduler(naiCfg)
+	diffRound(t, -1, inc, nai, mkCtx())
+	if inc.Stats.Moves == 0 {
+		t.Fatal("scenario applied no moves; the eval comparison is vacuous")
+	}
+	if inc.Stats.ScoreEvals*5 > nai.Stats.ScoreEvals {
+		t.Errorf("incremental solver spent %d evals vs naive %d; want ≥5× fewer",
+			inc.Stats.ScoreEvals, nai.Stats.ScoreEvals)
+	}
+}
+
+// TestWorkedMatrixExampleBothSolvers is the §III-B worked example as a
+// regression test: two medium hosts, a queued VM and a running one.
+// Both solvers must place VM0 on H0 (the host already running VM1),
+// matching the matrix's BestMove.
+func TestWorkedMatrixExampleBothSolvers(t *testing.T) {
+	mk := func() *policy.Context {
+		cls := cluster.PaperClasses()[1]
+		cls.Count = 2
+		c := cluster.MustNew([]cluster.Class{cls})
+		for _, n := range c.Nodes {
+			n.State = cluster.On
+		}
+		queued := vm.New(0, vm.Requirements{CPU: 100, Mem: 5}, 0, 3600, 7200)
+		running := vm.New(1, vm.Requirements{CPU: 200, Mem: 10}, 0, 3600, 7200)
+		running.State = vm.Running
+		running.Host = 0
+		c.Nodes[0].VMs[running.ID] = running
+		return &policy.Context{
+			Now:     0,
+			Cluster: c,
+			Queue:   []*vm.VM{queued},
+			Active:  []*vm.VM{running},
+		}
+	}
+
+	for _, naive := range []bool{false, true} {
+		cfg := SBConfig()
+		cfg.NaiveSolver = naive
+		sch := MustScheduler(cfg)
+		ctx := mk()
+
+		m := sch.Matrix(ctx)
+		host, vmIdx, _, ok := m.BestMove()
+		if !ok || m.VMLabels[vmIdx] != "VM0" || m.HostLabels[host] != "H0" {
+			t.Fatalf("naive=%v: BestMove = (%s, %s, ok=%v), want (H0, VM0, true)",
+				naive, m.HostLabels[host], m.VMLabels[vmIdx], ok)
+		}
+
+		acts := renderActions(sch.Schedule(ctx))
+		if len(acts) != 1 || acts[0] != "place vm0 -> n0" {
+			t.Fatalf("naive=%v: actions = %v, want [place vm0 -> n0]", naive, acts)
+		}
+	}
+}
+
+// TestMatrixHonorsCooldown pins the explainability fix: a VM inside
+// its migration cooldown must not appear as a matrix column, exactly
+// as Schedule ignores it.
+func TestMatrixHonorsCooldown(t *testing.T) {
+	c := testCluster(t, 2)
+	v := runningVM(1, 100, 5, c, 0)
+	v.LastMigrate = 0
+	sch := MustScheduler(SBConfig())
+	ctx := ctxFor(c, nil, []*vm.VM{v})
+	ctx.Now = 10 // inside the default 3600 s cooldown
+	if m := sch.Matrix(ctx); len(m.VMLabels) != 0 {
+		t.Fatalf("cooling-down VM rendered in matrix: %v", m.VMLabels)
+	}
+	ctx.Now = 4000 // past the cooldown
+	if m := sch.Matrix(ctx); len(m.VMLabels) != 1 {
+		t.Fatalf("post-cooldown VM missing from matrix")
+	}
+}
+
+// TestScheduleSteadyStateAllocationFree verifies the scratch-buffer
+// contract: after a warm-up round, a round that emits no actions
+// performs no heap allocations.
+func TestScheduleSteadyStateAllocationFree(t *testing.T) {
+	c := testCluster(t, 4)
+	// Two running VMs, hysteresis too high to move them: the solver
+	// scores the full matrix but emits nothing.
+	a := runningVM(1, 300, 15, c, 0)
+	b := runningVM(2, 100, 5, c, 1)
+	cfg := SBConfig()
+	cfg.MigrationGainMin = 1e6
+	sch := MustScheduler(cfg)
+	ctx := ctxFor(c, nil, []*vm.VM{a, b})
+	sch.Schedule(ctx) // warm up scratch buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		if acts := sch.Schedule(ctx); len(acts) != 0 {
+			t.Fatalf("unexpected actions: %v", acts)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state round allocates %.1f objects, want 0", allocs)
+	}
+}

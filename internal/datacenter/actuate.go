@@ -37,7 +37,7 @@ func (s *Simulation) applyPlace(a policy.Place) {
 
 	dur := s.creation.NormalPositive(n.Class.CreateCost, s.cfg.CreationSigma)
 	vv := v
-	s.eng.ScheduleAfter(dur, func() { s.onCreated(vv) })
+	s.eng.After(dur, func() { s.onCreated(vv) })
 }
 
 func (s *Simulation) onCreated(v *vm.VM) {
@@ -79,7 +79,7 @@ func (s *Simulation) applyMigrate(a policy.Migrate) {
 
 	dur := s.migration.NormalPositive(dst.Class.MigrateCost, s.cfg.MigrationSigma)
 	vv := v
-	s.eng.ScheduleAfter(dur, func() { s.onMigrated(vv) })
+	s.eng.After(dur, func() { s.onMigrated(vv) })
 }
 
 func (s *Simulation) onMigrated(v *vm.VM) {
@@ -114,7 +114,7 @@ func (s *Simulation) turnOn(n *cluster.Node) {
 	rt.meter.Observe(s.eng.Now(), n.Watts(0))
 	s.emit(EvBoot, -1, n.ID, -1)
 	nn := n
-	s.eng.ScheduleAfter(n.Class.BootTime, func() { s.onBooted(nn) })
+	s.eng.After(n.Class.BootTime, func() { s.onBooted(nn) })
 }
 
 func (s *Simulation) onBooted(n *cluster.Node) {
@@ -212,7 +212,7 @@ func (s *Simulation) onFailure(n *cluster.Node) {
 	rt.meter.Observe(s.eng.Now(), n.Watts(0))
 
 	nn := n
-	s.eng.ScheduleAfter(s.cfg.MTTR, func() { s.onRepaired(nn) })
+	s.eng.After(s.cfg.MTTR, func() { s.onRepaired(nn) })
 	s.round()
 }
 

@@ -60,6 +60,11 @@ type Simulation struct {
 	roundActive bool
 	done        bool
 
+	// ctxQueue and ctxActive are scratch buffers for the per-round
+	// policy context, reused so steady-state rounds don't allocate.
+	ctxQueue  []*vm.VM
+	ctxActive []*vm.VM
+
 	// PowerTrace, when non-nil, receives (time, totalWatts) samples
 	// at every power change (used by the validation experiment).
 	PowerTrace func(t, watts float64)
@@ -139,7 +144,7 @@ func (s *Simulation) Run() (metrics.Report, error) {
 		v.Name = j.Name
 		v.FaultTolerance = j.FaultTolerance
 		s.vms = append(s.vms, v)
-		s.eng.Schedule(j.Submit, func() { s.onArrival(v) })
+		s.eng.At(j.Submit, func() { s.onArrival(v) })
 	}
 	// Arm failure processes for nodes that start online.
 	for _, n := range s.cluster.Nodes {
@@ -148,9 +153,9 @@ func (s *Simulation) Run() (metrics.Report, error) {
 		}
 	}
 	// Housekeeping tick.
-	s.eng.Schedule(0, s.tick)
+	s.eng.At(0, s.tick)
 	if s.cfg.CheckpointInterval > 0 {
-		s.eng.Schedule(s.cfg.CheckpointInterval, s.checkpointTick)
+		s.eng.At(s.cfg.CheckpointInterval, s.checkpointTick)
 	}
 
 	horizon := s.cfg.MaxTime
@@ -389,7 +394,7 @@ func (s *Simulation) tick() {
 	}
 	s.round()
 	if !s.done {
-		s.eng.ScheduleAfter(s.cfg.TickInterval, s.tick)
+		s.eng.After(s.cfg.TickInterval, s.tick)
 	}
 }
 
@@ -406,7 +411,7 @@ func (s *Simulation) checkpointTick() {
 		}
 	}
 	if !s.done {
-		s.eng.ScheduleAfter(s.cfg.CheckpointInterval, s.checkpointTick)
+		s.eng.After(s.cfg.CheckpointInterval, s.checkpointTick)
 	}
 }
 
@@ -430,12 +435,15 @@ func (s *Simulation) round() {
 		s.turnOn(n)
 	}
 
-	// Policy.
+	// Policy. The queue is copied because applying a Place mutates
+	// s.queue while actions are still being iterated.
+	s.ctxQueue = append(s.ctxQueue[:0], s.queue...)
+	s.ctxActive = s.appendActiveVMs(s.ctxActive[:0])
 	ctx := &policy.Context{
 		Now:       s.eng.Now(),
 		Cluster:   s.cluster,
-		Queue:     append([]*vm.VM(nil), s.queue...),
-		Active:    s.activeVMs(),
+		Queue:     s.ctxQueue,
+		Active:    s.ctxActive,
 		LambdaMin: s.pm.LambdaMin,
 		LambdaMax: s.pm.LambdaMax,
 	}
@@ -452,11 +460,16 @@ func (s *Simulation) round() {
 }
 
 func (s *Simulation) activeVMs() []*vm.VM {
-	var out []*vm.VM
+	return s.appendActiveVMs(nil)
+}
+
+// appendActiveVMs appends the VMs occupying node resources to buf in
+// ID order and returns it.
+func (s *Simulation) appendActiveVMs(buf []*vm.VM) []*vm.VM {
 	for _, v := range s.vms {
 		if v.Active() {
-			out = append(out, v)
+			buf = append(buf, v)
 		}
 	}
-	return out
+	return buf
 }

@@ -27,6 +27,10 @@ type Timer struct {
 	fn        Handler
 	cancelled bool
 	fired     bool
+	// anon marks a fire-and-forget timer (scheduled via At/After): no
+	// handle was returned, so nobody can cancel it or observe it after
+	// it fires, and the engine recycles it through the free list.
+	anon bool
 }
 
 // Time returns the virtual time at which the timer is scheduled.
@@ -79,11 +83,19 @@ type Engine struct {
 	stopped bool
 	// Processed counts events that have fired (for diagnostics).
 	processed uint64
+	// slab is the current block timers are carved from: one allocation
+	// per timerSlabSize timers instead of one each.
+	slab []Timer
+	// free holds recycled fire-and-forget timers (see Timer.anon).
+	free []*Timer
 }
+
+// timerSlabSize is how many timers one slab allocation covers.
+const timerSlabSize = 256
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{events: make(eventHeap, 0, 256)}
 }
 
 // Now returns the current virtual time, in seconds.
@@ -99,6 +111,31 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Schedule queues fn to run at absolute virtual time at. Scheduling in
 // the past (at < Now) panics: it is always a model bug.
 func (e *Engine) Schedule(at float64, fn Handler) *Timer {
+	return e.newTimer(at, fn, false)
+}
+
+// ScheduleAfter queues fn to run delay seconds after Now. Negative
+// delays panic.
+func (e *Engine) ScheduleAfter(delay float64, fn Handler) *Timer {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// At queues fn at absolute virtual time at without returning a handle.
+// Timers scheduled this way cannot be cancelled, which lets the engine
+// recycle them after they fire: the allocation-free variant for the
+// overwhelmingly common fire-and-forget case. Ordering relative to
+// Schedule is unchanged (one shared sequence counter).
+func (e *Engine) At(at float64, fn Handler) {
+	e.newTimer(at, fn, true)
+}
+
+// After queues fn delay seconds after Now without returning a handle;
+// see At. Negative delays panic.
+func (e *Engine) After(delay float64, fn Handler) {
+	e.At(e.now+delay, fn)
+}
+
+func (e *Engine) newTimer(at float64, fn Handler, anon bool) *Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("simkit: scheduling event at %.6f before now %.6f", at, e.now))
 	}
@@ -106,15 +143,20 @@ func (e *Engine) Schedule(at float64, fn Handler) *Timer {
 		panic("simkit: scheduling event at NaN time")
 	}
 	e.seq++
-	t := &Timer{at: at, seq: e.seq, fn: fn}
+	var t *Timer
+	if n := len(e.free); anon && n > 0 {
+		t = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		if len(e.slab) == 0 {
+			e.slab = make([]Timer, timerSlabSize)
+		}
+		t = &e.slab[0]
+		e.slab = e.slab[1:]
+	}
+	*t = Timer{at: at, seq: e.seq, fn: fn, anon: anon}
 	heap.Push(&e.events, t)
 	return t
-}
-
-// ScheduleAfter queues fn to run delay seconds after Now. Negative
-// delays panic.
-func (e *Engine) ScheduleAfter(delay float64, fn Handler) *Timer {
-	return e.Schedule(e.now+delay, fn)
 }
 
 // Stop makes Run return after the currently executing handler (if any)
@@ -141,7 +183,14 @@ func (e *Engine) Run(until float64) float64 {
 		e.now = t.at
 		t.fired = true
 		e.processed++
-		t.fn()
+		fn := t.fn
+		if t.anon {
+			// No handle exists, so nothing can observe this timer
+			// after it fires: recycle it.
+			t.fn = nil
+			e.free = append(e.free, t)
+		}
+		fn()
 	}
 	if e.now < until && len(e.events) == 0 && !math.IsInf(until, 1) {
 		e.now = until

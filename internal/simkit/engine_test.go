@@ -283,3 +283,91 @@ func TestStreamIntnRange(t *testing.T) {
 		}
 	}
 }
+
+// --- fire-and-forget timers (At/After) and timer recycling ---
+
+func TestAtAfterInterleaveWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.After(2, func() { got = append(got, 2) })
+	e.Schedule(3, func() { got = append(got, 4) }) // same time as At(3): FIFO by seq
+	e.RunAll()
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run(20)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+// TestAnonTimerRecycled pins the pooling contract: a fired
+// fire-and-forget timer goes back to the free list and is handed out
+// again, while Schedule timers (whose handle a caller may retain) are
+// never recycled.
+func TestAnonTimerRecycled(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.RunAll()
+	if len(e.free) != 1 {
+		t.Fatalf("free list = %d timers, want 1", len(e.free))
+	}
+	recycled := e.free[0]
+	e.After(1, func() {})
+	if len(e.free) != 0 {
+		t.Fatalf("free list not drained on reuse")
+	}
+	if e.events[0] != recycled {
+		t.Error("anonymous timer was not recycled")
+	}
+	held := e.Schedule(3, func() {})
+	e.RunAll()
+	if held.Pending() {
+		t.Error("fired timer still pending")
+	}
+	for _, f := range e.free {
+		if f == held {
+			t.Error("cancellable timer was recycled while its handle is live")
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocations verifies the slab + pool economics:
+// a long self-rescheduling chain of fire-and-forget timers reuses one
+// timer forever.
+func TestEngineSteadyStateAllocations(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10000 {
+			e.After(1, step)
+		}
+	}
+	e.At(0, step)
+	e.RunAll()
+	if n != 10000 {
+		t.Fatalf("chain ran %d steps, want 10000", n)
+	}
+	// One slab allocation covers the whole chain.
+	if len(e.free) != 1 {
+		t.Fatalf("free list = %d, want 1 (single recycled timer)", len(e.free))
+	}
+}
