@@ -273,14 +273,91 @@ func BenchmarkScoreSolverRoundNaive(b *testing.B) {
 }
 
 // Steady state: one scheduler reused across rounds, exercising the
-// scratch-buffer reuse (shadow, candidate slice, cached matrix).
+// scratch-buffer reuse (shadow, candidate slice, cached matrix) and —
+// since the context never changes — the cross-round matrix carry at
+// its best case (every row and column clean).
 func BenchmarkScoreSolverRoundSteady(b *testing.B) {
 	ctx := solverRoundCtx()
 	sch := core.MustScheduler(core.SBConfig())
 	sch.Schedule(ctx) // warm the scratch buffers
+	sch.Schedule(ctx) // and the double-buffered cross-round snapshot
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		sch.Schedule(ctx)
+	}
+}
+
+// The same steady-state loop with the cross-round carry disabled:
+// every round rebuilds the full time-independent half of the matrix.
+// The delta against BenchmarkScoreSolverRoundSteady is the carry win.
+func BenchmarkScoreSolverRoundSteadyFresh(b *testing.B) {
+	cfg := core.SBConfig()
+	cfg.FreshMatrix = true
+	ctx := solverRoundCtx()
+	sch := core.MustScheduler(cfg)
+	sch.Schedule(ctx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch.Schedule(ctx)
+	}
+}
+
+// solverChurnSetup builds the realistic steady-fleet shape of a
+// full-day simulation round: 100 hosts, 64 running VMs, migration
+// hysteresis high enough that rounds apply no moves — each round's
+// cost is pure matrix maintenance.
+func solverChurnSetup(cfg core.Config) (*core.Scheduler, *policy.Context) {
+	cls := cluster.MustNew(cluster.PaperClasses())
+	for _, n := range cls.Nodes {
+		n.State = cluster.On
+	}
+	cfg.MigrationGainMin = 1e6
+	var active []*vm.VM
+	for i := 0; i < 64; i++ {
+		v := vm.New(i, vm.Requirements{CPU: float64(100 * (1 + i%4)), Mem: 5}, 0, 1e6, 2e6)
+		v.State = vm.Running
+		n := cls.Nodes[i%len(cls.Nodes)]
+		v.Host = n.ID
+		n.AddVM(v)
+		active = append(active, v)
+	}
+	ctx := &policy.Context{Now: 0, Cluster: cls, Active: active, LambdaMin: 0.3, LambdaMax: 0.9}
+	sch := core.MustScheduler(cfg)
+	sch.Schedule(ctx) // warm scratch buffers
+	sch.Schedule(ctx) // and the double-buffered cross-round snapshot
+	return sch, ctx
+}
+
+// Cross-round carry under churn: each round one node and one VM are
+// touched (their epochs bump), so the solver re-scores one column and
+// one row and carries the rest — a full-day simulation round changes
+// a handful of entities out of a hundred.
+func BenchmarkScoreSolverRoundChurn(b *testing.B) {
+	sch, ctx := solverChurnSetup(core.SBConfig())
+	nodes := ctx.Cluster.Nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].Touch()
+		ctx.Active[i%len(ctx.Active)].Touch()
+		sch.Schedule(ctx)
+	}
+}
+
+// The same churn loop with the carry disabled — the full per-round
+// matrix rebuild the carry replaces.
+func BenchmarkScoreSolverRoundChurnFresh(b *testing.B) {
+	cfg := core.SBConfig()
+	cfg.FreshMatrix = true
+	sch, ctx := solverChurnSetup(cfg)
+	nodes := ctx.Cluster.Nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].Touch()
+		ctx.Active[i%len(ctx.Active)].Touch()
 		sch.Schedule(ctx)
 	}
 }

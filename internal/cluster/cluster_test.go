@@ -22,7 +22,7 @@ func addVM(n *Node, id int, cpu, mem float64, state vm.State) *vm.VM {
 	v := vm.New(id, vm.Requirements{CPU: cpu, Mem: mem}, 0, 100, 200)
 	v.State = state
 	v.Host = n.ID
-	n.VMs[v.ID] = v
+	n.AddVM(v)
 	return v
 }
 
@@ -214,6 +214,59 @@ func TestClusterCounts(t *testing.T) {
 	}
 	if got := len(c.IdleNodes()); got != 0 {
 		t.Errorf("idle nodes = %d, want 0", got)
+	}
+}
+
+// TestNodeEpochAndReservedSums pins the cross-round cache contract:
+// every mutation method advances Epoch, the incremental reservation
+// sums track AddVM/RemoveVM exactly, and an emptied node reads
+// exactly zero (no float residue).
+func TestNodeEpochAndReservedSums(t *testing.T) {
+	c := MustNew([]Class{testClass()})
+	n := c.Nodes[0]
+
+	e := n.Epoch
+	step := func(what string, f func()) {
+		t.Helper()
+		f()
+		if n.Epoch <= e {
+			t.Errorf("%s did not advance the epoch", what)
+		}
+		e = n.Epoch
+	}
+
+	a := addVM(n, 1, 100, 10.5, vm.Running) // addVM uses AddVM internally
+	e = n.Epoch
+	step("AddVM", func() { addVM(n, 2, 50, 5.25, vm.Running) })
+	if n.CPUReserved() != 150 || n.MemReserved() != 15.75 {
+		t.Fatalf("reserved = (%v, %v), want (150, 15.75)", n.CPUReserved(), n.MemReserved())
+	}
+	prev := n.Epoch
+	n.AddVM(a) // duplicate add is a no-op
+	if n.Epoch != prev || n.CPUReserved() != 150 {
+		t.Fatalf("duplicate AddVM mutated the node")
+	}
+	step("SetState", func() { n.SetState(On) })
+	prev = n.Epoch
+	n.SetState(On)
+	if n.Epoch != prev {
+		t.Errorf("no-op SetState advanced the epoch")
+	}
+	step("BeginCreate", n.BeginCreate)
+	step("EndCreate", n.EndCreate)
+	step("BeginMigrate", n.BeginMigrate)
+	step("EndMigrate", n.EndMigrate)
+	step("ResetOps", n.ResetOps)
+	step("Touch", n.Touch)
+	step("RemoveVM", func() { n.RemoveVM(a) })
+	prev = n.Epoch
+	n.RemoveVM(a)
+	if n.Epoch != prev {
+		t.Errorf("removing an absent VM advanced the epoch")
+	}
+	n.RemoveVM(n.VMs[2])
+	if n.CPUReserved() != 0 || n.MemReserved() != 0 {
+		t.Fatalf("emptied node reserved = (%v, %v), want exact zeros", n.CPUReserved(), n.MemReserved())
 	}
 }
 

@@ -108,20 +108,39 @@ type Node struct {
 	// Class the node belongs to.
 	Class *Class
 
-	// State is the current power state.
+	// State is the current power state. Prefer SetState for runtime
+	// transitions so the change epoch advances with it.
 	State PowerState
 	// VMs currently placed on the node (creating, running or
-	// migrating-in VMs all occupy resources here).
+	// migrating-in VMs all occupy resources here). Mutate only through
+	// AddVM/RemoveVM: they keep the cached reservation sums and the
+	// change epoch consistent.
 	VMs map[int]*vm.VM
 
 	// CreatingOps counts VM creations in progress on this node.
+	// Mutate through BeginCreate/EndCreate.
 	CreatingOps int
 	// MigratingOps counts live migrations in which this node is an
-	// endpoint (source or destination).
+	// endpoint (source or destination). Mutate through
+	// BeginMigrate/EndMigrate.
 	MigratingOps int
 
 	// Reliability is the node's current Frel (may drift at runtime).
 	Reliability float64
+
+	// Epoch counts score-relevant mutations of the node: VM set
+	// changes, power transitions, operation begin/end. The scheduler's
+	// cross-round score cache uses it (together with a value snapshot
+	// of the fields above) to recognise nodes whose real state is
+	// unchanged since the previous scheduling round.
+	Epoch uint64
+
+	// resCPU, resMem cache the reservation sums over VMs, maintained
+	// by AddVM/RemoveVM. Summing incrementally (in mutation order)
+	// rather than walking the map keeps the totals deterministic:
+	// map-order float addition would give round-to-round ulp jitter
+	// that defeats the cross-round score cache.
+	resCPU, resMem float64
 }
 
 // NewNode builds an Off node of the given class.
@@ -134,6 +153,68 @@ func NewNode(id int, class *Class) *Node {
 		Reliability: class.Reliability,
 	}
 }
+
+// AddVM places v's reservation on the node: it joins the VMs map and
+// the cached reservation sums, and the change epoch advances.
+func (n *Node) AddVM(v *vm.VM) {
+	if _, ok := n.VMs[v.ID]; ok {
+		return
+	}
+	n.VMs[v.ID] = v
+	n.resCPU += v.Req.CPU
+	n.resMem += v.Req.Mem
+	n.Epoch++
+}
+
+// RemoveVM releases v's reservation. Removing a VM that is not hosted
+// here is a no-op.
+func (n *Node) RemoveVM(v *vm.VM) {
+	if _, ok := n.VMs[v.ID]; !ok {
+		return
+	}
+	delete(n.VMs, v.ID)
+	n.resCPU -= v.Req.CPU
+	n.resMem -= v.Req.Mem
+	if len(n.VMs) == 0 {
+		// Re-anchor the incremental sums: float subtraction can leave
+		// a residue, and an empty node must read exactly zero.
+		n.resCPU, n.resMem = 0, 0
+	}
+	n.Epoch++
+}
+
+// SetState transitions the power state, advancing the change epoch.
+func (n *Node) SetState(s PowerState) {
+	if n.State == s {
+		return
+	}
+	n.State = s
+	n.Epoch++
+}
+
+// BeginCreate and EndCreate bracket a VM creation in progress.
+func (n *Node) BeginCreate() { n.CreatingOps++; n.Epoch++ }
+
+// EndCreate completes one creation begun with BeginCreate.
+func (n *Node) EndCreate() { n.CreatingOps--; n.Epoch++ }
+
+// BeginMigrate and EndMigrate bracket a live migration with this node
+// as an endpoint (source or destination).
+func (n *Node) BeginMigrate() { n.MigratingOps++; n.Epoch++ }
+
+// EndMigrate completes one migration begun with BeginMigrate.
+func (n *Node) EndMigrate() { n.MigratingOps--; n.Epoch++ }
+
+// ResetOps force-clears both operation counters (failure teardown).
+func (n *Node) ResetOps() {
+	n.CreatingOps, n.MigratingOps = 0, 0
+	n.Epoch++
+}
+
+// Touch records an out-of-band mutation not covered by the methods
+// above (e.g. a reliability drift), invalidating cross-round score
+// caches that reference this node.
+func (n *Node) Touch() { n.Epoch++ }
 
 // Operational reports whether the node can host VMs right now.
 func (n *Node) Operational() bool { return n.State == On }
@@ -151,22 +232,12 @@ func (n *Node) Idle() bool {
 }
 
 // CPUReserved returns the sum of CPU requirements of hosted VMs.
-func (n *Node) CPUReserved() float64 {
-	var sum float64
-	for _, v := range n.VMs {
-		sum += v.Req.CPU
-	}
-	return sum
-}
+// O(1): the sum is maintained incrementally by AddVM/RemoveVM.
+func (n *Node) CPUReserved() float64 { return n.resCPU }
 
 // MemReserved returns the sum of memory requirements of hosted VMs.
-func (n *Node) MemReserved() float64 {
-	var sum float64
-	for _, v := range n.VMs {
-		sum += v.Req.Mem
-	}
-	return sum
-}
+// O(1): the sum is maintained incrementally by AddVM/RemoveVM.
+func (n *Node) MemReserved() float64 { return n.resMem }
 
 // Occupation is O(h) in the paper: the utilization of the most
 // occupied resource, from the VMs' declared requirements. 1.0 means

@@ -64,6 +64,13 @@ type Config struct {
 	// highest-benefit move (the paper uses ∞; a large finite value
 	// avoids ∞−∞ in the improvement arithmetic).
 	QueueScore float64
+	// FreshMatrix disables the cross-round score-matrix carry: every
+	// round rebuilds the full time-independent half of the matrix from
+	// scratch instead of reusing cells whose node and VM state is
+	// unchanged since the previous round. The within-round incremental
+	// solver is unaffected. Exists for ablation benchmarks and as a
+	// bisection aid; both settings emit identical actions.
+	FreshMatrix bool
 	// NaiveSolver disables the incremental score-matrix cache and
 	// re-evaluates the full V×H matrix on every hill-climbing
 	// iteration, exactly as Algorithm 1 is written. Both solvers emit

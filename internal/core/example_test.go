@@ -28,7 +28,7 @@ func ExampleScheduler_Matrix() {
 	running := vm.New(1, vm.Requirements{CPU: 200, Mem: 10}, 0, 3600, 7200)
 	running.State = vm.Running
 	running.Host = 0
-	c.Nodes[0].VMs[running.ID] = running
+	c.Nodes[0].AddVM(running)
 
 	sch := core.MustScheduler(core.SBConfig())
 	m := sch.Matrix(&policy.Context{

@@ -19,7 +19,7 @@ func pmCluster(t *testing.T, total, online, working int) *cluster.Cluster {
 		v := vm.New(1000+i, vm.Requirements{CPU: 100, Mem: 5}, 0, 3600, 5400)
 		v.State = vm.Running
 		v.Host = i
-		c.Nodes[i].VMs[v.ID] = v
+		c.Nodes[i].AddVM(v)
 	}
 	return c
 }
@@ -134,7 +134,7 @@ func TestPlanEmergencyBypassesThrottle(t *testing.T) {
 		v := vm.New(2000+i, vm.Requirements{CPU: 300, Mem: 5}, 0, 3600, 5400)
 		v.State = vm.Running
 		v.Host = i
-		c.Nodes[i].VMs[v.ID] = v
+		c.Nodes[i].AddVM(v)
 	}
 	pm := mustPM(t, 30, 90, 1)
 	pm.lastBoot = 995 // pipeline busy
@@ -153,7 +153,7 @@ func TestPlanNoEmergencyForRelaxedVM(t *testing.T) {
 		v := vm.New(2000+i, vm.Requirements{CPU: 300, Mem: 5}, 0, 3600, 5400)
 		v.State = vm.Running
 		v.Host = i
-		c.Nodes[i].VMs[v.ID] = v
+		c.Nodes[i].AddVM(v)
 	}
 	pm := mustPM(t, 30, 90, 1)
 	pm.lastBoot = 995
@@ -177,7 +177,7 @@ func TestPlanUtilizationTrigger(t *testing.T) {
 			v := vm.New(3000+8*i+k, vm.Requirements{CPU: 400, Mem: 5}, 0, 3600, 5400)
 			v.State = vm.Running
 			v.Host = i
-			c.Nodes[i].VMs[v.ID] = v
+			c.Nodes[i].AddVM(v)
 		}
 	}
 	pm := mustPM(t, 30, 90, 1)

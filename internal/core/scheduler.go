@@ -28,6 +28,19 @@ type Scheduler struct {
 	cands []*vm.VM
 	sh    shadow
 	inc   incState
+
+	// cross is the previous round's base-matrix snapshot; the next*
+	// and *Src slices are the current round's build scratch (swapped
+	// into cross when the build publishes). See buildMatrix.
+	cross    crossState
+	nextBase []float64
+	nextRows []rowKey
+	nextCols []colKey
+	rowSrc   []int
+	colSrc   []int
+	classes  []*cluster.Class
+	classOf  []int
+	timeMove []float64
 }
 
 // SolverStats counts solver work for the complexity ablation.
@@ -48,6 +61,23 @@ type SolverStats struct {
 	// dirty column invalidated a cached best (no score evaluations are
 	// spent on a rescan; it re-reads the cached matrix).
 	RowRescans int
+
+	// --- cross-round reuse (see buildMatrix) ---
+
+	// CarryRounds counts rounds that started from a previous round's
+	// matrix snapshot (cross-round reuse active).
+	CarryRounds int
+	// StaleRows counts candidate rows re-scored at the top of a carry
+	// round because the VM was new or its real state changed since the
+	// snapshot (arrival, migration, demand update, requeue).
+	StaleRows int
+	// StaleCols counts host columns re-scored at the top of a carry
+	// round because the node was new or its real state changed
+	// (power transition, VM set change, operation begin/end).
+	StaleCols int
+	// ReusedCells counts base-matrix cells carried across rounds
+	// without re-evaluation.
+	ReusedCells int
 }
 
 // NewScheduler builds a score-based scheduler with the given

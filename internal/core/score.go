@@ -50,15 +50,13 @@ func (s *shadow) reset(now float64, nodes []*cluster.Node, vms []*vm.VM) {
 	}
 	for i, n := range nodes {
 		s.byID[n.ID] = i
-		// Single pass over the node's VM map (CPUReserved and
-		// MemReserved would each walk it separately).
-		var cpu, mem float64
-		for _, v := range n.VMs {
-			cpu += v.Req.CPU
-			mem += v.Req.Mem
-		}
-		s.cpu[i] = cpu
-		s.mem[i] = mem
+		// The node maintains its reservation sums incrementally
+		// (AddVM/RemoveVM), so seeding the shadow is O(1) per node and
+		// — critically for the cross-round matrix cache — the loads of
+		// an unchanged node are bit-identical between rounds (a map
+		// walk would re-add floats in random order).
+		s.cpu[i] = n.CPUReserved()
+		s.mem[i] = n.MemReserved()
 		s.count[i] = len(n.VMs)
 	}
 	for i, v := range vms {
@@ -130,7 +128,41 @@ func (s *shadow) vmCount(ni, vi int) int {
 // score computes Score(h, vm) — the full penalty sum of §III-A — for
 // candidate vi on node ni, against the shadow state. +Inf marks an
 // infeasible combination.
+//
+// The sum is split into two halves so the cross-round matrix cache can
+// carry one of them between scheduling rounds:
+//
+//   - scoreBase: the penalty families whose value does not depend on
+//     virtual time (Preq/Pres gates, Pconc, Ppwr, Pfault). For an
+//     unchanged ⟨node, VM⟩ pair this half is bit-identical between
+//     rounds and is reused from the previous round's matrix.
+//   - scoreTime: the time-dependent families (Pvirt's Tr decay, PSLA's
+//     fulfillment estimate). These depend on the node only through its
+//     class and through whether it is the VM's current host, so each
+//     round recomputes them once per ⟨VM, class⟩ instead of per cell.
+//
+// Both solvers and both build paths compose the two halves with the
+// same float grouping (base + time), so cached and fresh evaluations
+// are bit-identical and the solvers replay each other's decisions
+// exactly.
 func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
+	b := sch.scoreBase(s, ni, vi)
+	if math.IsInf(b, 1) {
+		return b
+	}
+	t := sch.scoreTime(s, ni, vi)
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return b + t
+}
+
+// scoreBase is the time-independent half of Score(h, vm): the Preq and
+// Pres feasibility gates plus Pconc, Ppwr and Pfault. It depends only
+// on the node's observable state (power state, loads, in-flight
+// operations, reliability, class) and the VM's requirements and
+// current host — the exact fields the cross-round snapshot keys on.
+func (sch *Scheduler) scoreBase(s *shadow, ni, vi int) float64 {
 	n := s.nodes[ni]
 	v := s.vms[vi]
 	cfg := &sch.cfg
@@ -149,19 +181,6 @@ func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
 
 	total := 0.0
 
-	// P_virt: virtualization overheads (§III-A3).
-	if cfg.EnableVirt {
-		p, infinite := sch.pVirt(s, ni, vi)
-		if infinite {
-			return math.Inf(1)
-		}
-		total += p
-	} else if v.InOperation() && s.assign[vi] != s.initial[vi] {
-		// Even without the penalty family, a VM under an in-flight
-		// operation cannot be acted on.
-		return math.Inf(1)
-	}
-
 	// P_conc: concurrency of in-flight operations on the host
 	// (§III-A3, last part).
 	if cfg.EnableConc {
@@ -174,15 +193,6 @@ func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
 		total += sch.pPower(s, ni, vi, occ)
 	}
 
-	// P_SLA: dynamic SLA enforcement (§III-A5).
-	if cfg.EnableSLA {
-		p, infinite := sch.pSLA(s, ni, vi)
-		if infinite {
-			return math.Inf(1)
-		}
-		total += p
-	}
-
 	// P_fault: reliability (§III-A6).
 	if cfg.EnableFault {
 		total += ((1 - n.Reliability) - v.FaultTolerance) * cfg.Cfail
@@ -191,9 +201,70 @@ func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
 	return total
 }
 
-// pVirt computes the virtualization-overhead penalty:
+// scoreTime is the time-dependent half of Score(h, vm): Pvirt and
+// PSLA, plus the in-operation pin that replaces Pvirt when that family
+// is disabled. It depends on the node only through its class and
+// through whether it is the VM's current host.
+func (sch *Scheduler) scoreTime(s *shadow, ni, vi int) float64 {
+	if !sch.cfg.EnableVirt && s.vms[vi].InOperation() && s.assign[vi] != s.initial[vi] {
+		// Even without the penalty family, a VM under an in-flight
+		// operation cannot be acted on.
+		return math.Inf(1)
+	}
+	if ni == s.initial[vi] {
+		return sch.scoreTimeStay(s, vi)
+	}
+	return sch.scoreTimeMove(s, vi, s.nodes[ni].Class)
+}
+
+// scoreTimeStay is scoreTime at the VM's current host: Pvirt is zero
+// (no operation needed) and PSLA sees no operation overhead.
+func (sch *Scheduler) scoreTimeStay(s *shadow, vi int) float64 {
+	total := 0.0
+	if sch.cfg.EnableSLA {
+		p, infinite := sch.pSLAWith(s, vi, 0)
+		if infinite {
+			return math.Inf(1)
+		}
+		total += p
+	}
+	return total
+}
+
+// scoreTimeMove is scoreTime for placing or migrating vi onto a node
+// of class cl that is not its current host. One evaluation serves
+// every such node of the class in a round.
+func (sch *Scheduler) scoreTimeMove(s *shadow, vi int, cl *cluster.Class) float64 {
+	cfg := &sch.cfg
+	total := 0.0
+
+	// P_virt: virtualization overheads (§III-A3).
+	if cfg.EnableVirt {
+		p, infinite := sch.pVirtMove(s, vi, cl)
+		if infinite {
+			return math.Inf(1)
+		}
+		total += p
+	}
+
+	// P_SLA: dynamic SLA enforcement (§III-A5).
+	if cfg.EnableSLA {
+		overhead := cl.MigrateCost
+		if s.vms[vi].State == vm.Queued {
+			overhead = cl.CreateCost
+		}
+		p, infinite := sch.pSLAWith(s, vi, overhead)
+		if infinite {
+			return math.Inf(1)
+		}
+		total += p
+	}
+
+	return total
+}
+
+// pVirtMove computes the virtualization-overhead penalty:
 //
-//	0            if the VM stays on its current host
 //	∞            if an operation is in flight on the VM
 //	Cc(h)        if the VM is new (queued)
 //	Pm(h, vm)    otherwise (migration penalty)
@@ -201,24 +272,20 @@ func (sch *Scheduler) score(s *shadow, ni, vi int) float64 {
 // with Pm = 2·Cm when the user-estimated remaining time Tr is shorter
 // than the migration itself (migrating a nearly-finished VM is pure
 // waste), and Cm²/(2·Tr) otherwise — decaying as more remaining time
-// amortizes the move.
-func (sch *Scheduler) pVirt(s *shadow, ni, vi int) (penalty float64, infinite bool) {
+// amortizes the move. The stay case (Pvirt = 0 at the VM's current
+// host) is handled by scoreTime's dispatch; this function covers a
+// node of class cl that is not the VM's current host, and depends on
+// the node only through its class, so the matrix build evaluates it
+// once per ⟨VM, class⟩.
+func (sch *Scheduler) pVirtMove(s *shadow, vi int, cl *cluster.Class) (penalty float64, infinite bool) {
 	v := s.vms[vi]
-	n := s.nodes[ni]
-	if s.assign[vi] == ni && ni == s.initial[vi] {
-		return 0, false
-	}
-	if ni == s.initial[vi] {
-		// Moving back to where it really is: no operation needed.
-		return 0, false
-	}
 	if v.InOperation() {
 		return 0, true
 	}
 	if v.State == vm.Queued {
-		return n.Class.CreateCost, false
+		return cl.CreateCost, false
 	}
-	cm := n.Class.MigrateCost
+	cm := cl.MigrateCost
 	tr := v.UserRemainingTime(s.now)
 	if tr < cm {
 		return 2 * cm, false
@@ -250,20 +317,12 @@ func (sch *Scheduler) pPower(s *shadow, ni, vi int, occ float64) float64 {
 	return p
 }
 
-// pSLA implements the dynamic SLA enforcement penalty from the
-// estimated fulfillment of the VM on the candidate host.
-func (sch *Scheduler) pSLA(s *shadow, ni, vi int) (penalty float64, infinite bool) {
+// pSLAWith implements the dynamic SLA enforcement penalty from the
+// estimated fulfillment of the VM given the operation overhead of the
+// candidate host (zero when the VM would stay put).
+func (sch *Scheduler) pSLAWith(s *shadow, vi int, overhead float64) (penalty float64, infinite bool) {
 	cfg := &sch.cfg
 	v := s.vms[vi]
-	n := s.nodes[ni]
-	overhead := 0.0
-	if s.initial[vi] != ni {
-		if v.State == vm.Queued {
-			overhead = n.Class.CreateCost
-		} else {
-			overhead = n.Class.MigrateCost
-		}
-	}
 	// Assume the candidate host can grant the full requested CPU
 	// (P_res already guaranteed the reservation fits).
 	f := sla.Fulfillment(s.now, v.Submit, v.Deadline, v.Remaining(), v.Req.CPU, overhead)

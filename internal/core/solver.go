@@ -22,6 +22,62 @@ import (
 // O(V·H), turning a round from O(I·V·H) into O(V·H + I·(V+H)) score
 // evaluations.
 
+// Across rounds the solver additionally carries the time-independent
+// half of the matrix (scoreBase). A cell of that half depends only on
+// the observable state of its node (power state, loads, in-flight
+// operations, reliability, class) and its VM (requirements, fault
+// tolerance, current host) — state that a scheduling round leaves
+// untouched for most of the datacenter. crossState snapshots those
+// inputs per row and per column; at the top of the next round the
+// solver diffs the snapshot against reality and re-scores only the
+// rows and columns whose real state changed (VM arrivals/exits,
+// migrations, demand updates, power transitions, operation churn).
+// The time-dependent half (scoreTime) is recomputed every round, but
+// costs only O(V·K) evaluations for K node classes.
+
+// rowKey identifies a matrix row (candidate VM) and snapshots every
+// VM-side input of scoreBase. A row is carried over only if the same
+// VM object matches the whole key — the epoch guards against mutations
+// the value fields cannot see, the value fields guard against
+// mutations that bypassed Touch.
+type rowKey struct {
+	vm    *vm.VM
+	epoch uint64
+	// scoreBase inputs: requirements, fault tolerance, resolved
+	// current host (node ID, -1 when queued or unresolvable).
+	cpu, mem  float64
+	arch, hyp string
+	ftol      float64
+	initial   int
+}
+
+// colKey identifies a matrix column (host) and snapshots every
+// node-side input of scoreBase.
+type colKey struct {
+	node  *cluster.Node
+	class *cluster.Class
+	epoch uint64
+	state cluster.PowerState
+	// Reservation sums as seeded into the shadow; bit-stable for an
+	// unchanged node because the Node maintains them incrementally.
+	cpu, mem  float64
+	count     int
+	creating  int
+	migrating int
+	rel       float64
+}
+
+// crossState is the cross-round snapshot: the previous round's base
+// matrix plus the row/column keys it was computed from.
+type crossState struct {
+	valid bool
+	h     int       // previous round's column count
+	base  []float64 // previous round's V×H scoreBase matrix, row-major
+	rows  []rowKey  // previous rows, ascending VM ID (candidate order)
+	cols  []colKey  // previous columns, host order
+	colOf []int     // node ID -> previous column index (-1 = absent)
+}
+
 // incState is the incremental solver's working state: the cached score
 // matrix plus per-VM best-move records. All slices are scratch buffers
 // owned by the Scheduler and reused across rounds.
@@ -60,28 +116,7 @@ func (sch *Scheduler) solveIncremental(s *shadow, hosts []*cluster.Node, cands [
 	st := &sch.inc
 	st.reset(V, H)
 
-	// Build the full matrix once per round, tracking each row's
-	// best-move record in the same pass.
-	sch.Stats.ScoreEvals += V * H
-	for vi := 0; vi < V; vi++ {
-		row := vi * H
-		assign := s.assign[vi]
-		best, bestn, first := math.Inf(1), -1, -1
-		for ni := 0; ni < H; ni++ {
-			sc := sch.score(s, ni, vi)
-			st.m[row+ni] = sc
-			if ni == assign || math.IsInf(sc, 1) {
-				continue
-			}
-			if first < 0 {
-				first = ni
-			}
-			if sc < best {
-				best, bestn = sc, ni
-			}
-		}
-		st.bestSc[vi], st.bestNi[vi], st.firstNi[vi] = best, bestn, first
-	}
+	sch.buildMatrix(s, hosts, cands, st)
 
 	limit := sch.iterationLimit(V)
 	const eps = 1e-9
@@ -140,6 +175,181 @@ func (sch *Scheduler) solveIncremental(s *shadow, hosts []*cluster.Node, cands [
 		sch.refreshAfterMove(s, st, bestVI, from, bestNI)
 	}
 	sch.Stats.Moves += moves
+}
+
+// buildMatrix fills the round's score matrix and per-VM best-move
+// records, carrying the time-independent half of unchanged cells over
+// from the previous round's snapshot. Each cell is composed as
+// scoreBase + scoreTime with the time half evaluated once per
+// ⟨VM, class⟩, in exactly the float grouping score uses, so carried
+// and fresh cells are bit-identical.
+func (sch *Scheduler) buildMatrix(s *shadow, hosts []*cluster.Node, cands []*vm.VM, st *incState) {
+	V, H := len(cands), len(hosts)
+	cr := &sch.cross
+	carry := cr.valid && !sch.cfg.FreshMatrix
+
+	// Column keys: snapshot each host's scoreBase inputs and match it
+	// against the previous round's column for the same node object.
+	sch.nextCols = grow(sch.nextCols, H)
+	sch.colSrc = grow(sch.colSrc, H)
+	staleCols := 0
+	for ni, n := range hosts {
+		k := colKey{
+			node: n, class: n.Class, epoch: n.Epoch, state: n.State,
+			cpu: s.cpu[ni], mem: s.mem[ni], count: s.count[ni],
+			creating: n.CreatingOps, migrating: n.MigratingOps, rel: n.Reliability,
+		}
+		sch.nextCols[ni] = k
+		src := -1
+		if carry && n.ID >= 0 && n.ID < len(cr.colOf) {
+			if pc := cr.colOf[n.ID]; pc >= 0 && cr.cols[pc] == k {
+				src = pc
+			}
+		}
+		sch.colSrc[ni] = src
+		if src < 0 {
+			staleCols++
+		}
+	}
+
+	// Row keys: snapshot each candidate's scoreBase inputs. Both this
+	// round's candidates and the previous snapshot are sorted by VM ID,
+	// so a single merge scan pairs them without a lookup structure.
+	sch.nextRows = grow(sch.nextRows, V)
+	sch.rowSrc = grow(sch.rowSrc, V)
+	staleRows := 0
+	pi := 0
+	for vi, v := range cands {
+		initial := -1
+		if a := s.assign[vi]; a >= 0 {
+			initial = hosts[a].ID
+		}
+		k := rowKey{
+			vm: v, epoch: v.Epoch,
+			cpu: v.Req.CPU, mem: v.Req.Mem, arch: v.Req.Arch, hyp: v.Req.Hypervisor,
+			ftol: v.FaultTolerance, initial: initial,
+		}
+		sch.nextRows[vi] = k
+		src := -1
+		if carry {
+			for pi < len(cr.rows) && cr.rows[pi].vm.ID < v.ID {
+				pi++
+			}
+			if pi < len(cr.rows) && cr.rows[pi] == k {
+				src = pi
+			}
+		}
+		sch.rowSrc[vi] = src
+		if src < 0 {
+			staleRows++
+		}
+	}
+
+	// Distinct node classes this round, for the per-class time terms.
+	sch.classes = sch.classes[:0]
+	sch.classOf = grow(sch.classOf, H)
+	for ni, n := range hosts {
+		idx := -1
+		for i, cl := range sch.classes {
+			if cl == n.Class {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(sch.classes)
+			sch.classes = append(sch.classes, n.Class)
+		}
+		sch.classOf[ni] = idx
+	}
+
+	// Fill base and full matrices, tracking each row's best-move
+	// record in the same pass.
+	sch.nextBase = grow(sch.nextBase, V*H)
+	sch.timeMove = grow(sch.timeMove, len(sch.classes))
+	evals, reused := 0, 0
+	for vi := range cands {
+		row := vi * H
+		assign := s.assign[vi]
+		for k, cl := range sch.classes {
+			sch.timeMove[k] = sch.scoreTimeMove(s, vi, cl)
+		}
+		stay := 0.0
+		if assign >= 0 {
+			stay = sch.scoreTimeStay(s, vi)
+		}
+		prow := -1
+		if src := sch.rowSrc[vi]; src >= 0 {
+			prow = src * cr.h
+		}
+		best, bestn, first := math.Inf(1), -1, -1
+		for ni := 0; ni < H; ni++ {
+			var b float64
+			if pc := sch.colSrc[ni]; prow >= 0 && pc >= 0 {
+				b = cr.base[prow+pc]
+				reused++
+			} else {
+				b = sch.scoreBase(s, ni, vi)
+				evals++
+			}
+			sch.nextBase[row+ni] = b
+			sc := b
+			if !math.IsInf(b, 1) {
+				t := stay
+				if ni != assign {
+					t = sch.timeMove[sch.classOf[ni]]
+				}
+				if math.IsInf(t, 1) {
+					sc = t
+				} else {
+					sc = b + t
+				}
+			}
+			st.m[row+ni] = sc
+			if ni == assign || math.IsInf(sc, 1) {
+				continue
+			}
+			if first < 0 {
+				first = ni
+			}
+			if sc < best {
+				best, bestn = sc, ni
+			}
+		}
+		st.bestSc[vi], st.bestNi[vi], st.firstNi[vi] = best, bestn, first
+	}
+
+	sch.Stats.ScoreEvals += evals
+	sch.Stats.ReusedCells += reused
+	if carry {
+		sch.Stats.CarryRounds++
+		sch.Stats.StaleRows += staleRows
+		sch.Stats.StaleCols += staleCols
+	}
+
+	// Publish this round's snapshot by swapping buffers with the
+	// previous one. The base matrix holds round-start values: the
+	// hill climb only mutates st.m, and any real-state change the
+	// round's own actuation causes will bump epochs and show up in
+	// next round's diff.
+	cr.base, sch.nextBase = sch.nextBase, cr.base
+	cr.rows, sch.nextRows = sch.nextRows, cr.rows
+	cr.cols, sch.nextCols = sch.nextCols, cr.cols
+	cr.h = H
+	maxID := 0
+	for _, n := range hosts {
+		if n.ID >= maxID {
+			maxID = n.ID
+		}
+	}
+	cr.colOf = grow(cr.colOf, maxID+1)
+	for i := range cr.colOf {
+		cr.colOf[i] = -1
+	}
+	for ni, n := range hosts {
+		cr.colOf[n.ID] = ni
+	}
+	cr.valid = true
 }
 
 // refreshAfterMove re-scores the dirty region after move(movedVI,

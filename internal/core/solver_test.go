@@ -97,7 +97,7 @@ func randomScenario(r *rand.Rand) (*policy.Context, Config) {
 			// overcommit exercises the infeasible-current-host path.
 			n := c.Nodes[r.Intn(len(c.Nodes))]
 			v.Host = n.ID
-			n.VMs[v.ID] = v
+			n.AddVM(v)
 			v.Progress = v.Work * r.Float64()
 			switch {
 			case r.Float64() < 0.15:
@@ -191,6 +191,237 @@ func TestDifferentialScratchReuse(t *testing.T) {
 	}
 }
 
+// TestDifferentialMultiRoundChurn drives one cluster through many
+// consecutive scheduling rounds with real churn applied between them
+// — VM arrivals, completions, applied placements and migrations,
+// demand updates, node power transitions — all through the
+// epoch-bumping mutation methods the datacenter harness uses. Each
+// round the carrying incremental solver and the naive oracle must
+// emit identical actions, and the cross-round invalidation must stay
+// within the churn: the number of rows/columns re-scored at the top
+// of a round is bounded by the entities actually touched since the
+// previous round (plus rows/columns that are new to the matrix).
+func TestDifferentialMultiRoundChurn(t *testing.T) {
+	const rounds = 60
+	for seed := 0; seed < 8; seed++ {
+		r := rand.New(rand.NewSource(int64(9000 + seed)))
+
+		classes := make([]cluster.Class, 1+r.Intn(3))
+		for i := range classes {
+			classes[i] = cluster.Class{
+				Name:        fmt.Sprintf("c%d", i),
+				Count:       2 + r.Intn(4),
+				CPU:         float64(200 + 200*r.Intn(3)),
+				Mem:         float64(50 + 50*r.Intn(2)),
+				CreateCost:  float64(20 + r.Intn(41)),
+				MigrateCost: float64(30 + r.Intn(61)),
+				BootTime:    100,
+				Arch:        "x86_64",
+				Hypervisor:  "xen",
+				Reliability: 0.9 + 0.1*r.Float64(),
+			}
+		}
+		c := cluster.MustNew(classes)
+		for _, n := range c.Nodes {
+			n.SetState(cluster.On)
+		}
+
+		cfg := DefaultConfig()
+		cfg.EnableSLA = r.Float64() < 0.3
+		cfg.EnableFault = r.Float64() < 0.3
+		cfg.MigrationCooldown = 600
+		inc := MustScheduler(cfg)
+		naiCfg := cfg
+		naiCfg.NaiveSolver = true
+		nai := MustScheduler(naiCfg)
+
+		var vms []*vm.VM
+		nextID := 0
+		now := 0.0
+		touchedVMs := map[int]bool{}
+		touchedNodes := map[int]bool{}
+		prevRows := map[int]bool{}
+		prevCols := map[int]bool{}
+
+		arrive := func() {
+			v := vm.New(nextID, vm.Requirements{
+				CPU: float64(50 * (1 + r.Intn(8))),
+				Mem: float64(5 * (1 + r.Intn(6))),
+			}, now, 600+7200*r.Float64(), now+3600+14400*r.Float64())
+			nextID++
+			vms = append(vms, v)
+			touchedVMs[v.ID] = true
+		}
+
+		for round := 0; round < rounds; round++ {
+			// --- churn between rounds ---
+			for k := r.Intn(3); k > 0; k-- {
+				arrive()
+			}
+			if r.Float64() < 0.3 { // a running VM completes
+				running := runningVMs(vms)
+				if len(running) > 0 {
+					v := running[r.Intn(len(running))]
+					c.Nodes[v.Host].RemoveVM(v)
+					touchedNodes[v.Host] = true
+					v.State = vm.Completed
+					v.Touch()
+					touchedVMs[v.ID] = true
+				}
+			}
+			if r.Float64() < 0.3 { // power transition
+				n := c.Nodes[r.Intn(len(c.Nodes))]
+				switch {
+				case n.State == cluster.Off:
+					n.SetState(cluster.On)
+					touchedNodes[n.ID] = true
+				case n.State == cluster.On && len(n.VMs) == 0 && onlineCount(c) > 1:
+					n.SetState(cluster.Off)
+					touchedNodes[n.ID] = true
+				}
+			}
+			if r.Float64() < 0.2 { // demand update on a queued VM
+				for _, v := range vms {
+					if v.State == vm.Queued {
+						v.Req.CPU = float64(50 * (1 + r.Intn(8)))
+						v.Touch()
+						touchedVMs[v.ID] = true
+						break
+					}
+				}
+			}
+			queued := false
+			for _, v := range vms {
+				queued = queued || v.State == vm.Queued
+			}
+			if !queued {
+				arrive() // every round must build a matrix
+			}
+
+			// --- the round itself ---
+			var queue, active []*vm.VM
+			for _, v := range vms {
+				switch {
+				case v.State == vm.Queued:
+					queue = append(queue, v)
+				case v.Active():
+					active = append(active, v)
+				}
+			}
+			ctx := &policy.Context{
+				Now: now, Cluster: c, Queue: queue, Active: active,
+				LambdaMin: 0.3, LambdaMax: 0.9,
+			}
+			curRows := map[int]bool{}
+			for _, v := range inc.candidates(ctx, nil) {
+				curRows[v.ID] = true
+			}
+			curCols := map[int]bool{}
+			for _, n := range c.Nodes {
+				if n.State == cluster.On {
+					curCols[n.ID] = true
+				}
+			}
+
+			before := inc.Stats
+			incActs := inc.Schedule(ctx)
+			naiActs := nai.Schedule(ctx)
+			ia, na := renderActions(incActs), renderActions(naiActs)
+			if len(ia) != len(na) {
+				t.Fatalf("seed %d round %d: action count diverged: %v vs %v", seed, round, ia, na)
+			}
+			for i := range ia {
+				if ia[i] != na[i] {
+					t.Fatalf("seed %d round %d: action %d diverged: %q vs %q", seed, round, i, ia[i], na[i])
+				}
+			}
+			after := inc.Stats
+
+			// --- invalidation bounded by the actual churn ---
+			if after.CarryRounds > before.CarryRounds {
+				budget := len(touchedVMs)
+				for id := range curRows {
+					if !prevRows[id] {
+						budget++
+					}
+				}
+				if stale := after.StaleRows - before.StaleRows; stale > budget {
+					t.Fatalf("seed %d round %d: %d stale rows, churn allows %d",
+						seed, round, stale, budget)
+				}
+				budget = len(touchedNodes)
+				for id := range curCols {
+					if !prevCols[id] {
+						budget++
+					}
+				}
+				if stale := after.StaleCols - before.StaleCols; stale > budget {
+					t.Fatalf("seed %d round %d: %d stale columns, churn allows %d",
+						seed, round, stale, budget)
+				}
+			} else if round > 0 {
+				t.Fatalf("seed %d round %d: no cross-round carry", seed, round)
+			}
+
+			// --- apply the actions as instant actuation ---
+			clear(touchedVMs)
+			clear(touchedNodes)
+			for _, a := range incActs {
+				switch act := a.(type) {
+				case policy.Place:
+					v := act.VM
+					v.State = vm.Running
+					v.Host = act.Node
+					v.Touch()
+					c.Nodes[act.Node].AddVM(v)
+					touchedVMs[v.ID] = true
+					touchedNodes[act.Node] = true
+				case policy.Migrate:
+					v := act.VM
+					c.Nodes[v.Host].RemoveVM(v)
+					touchedNodes[v.Host] = true
+					c.Nodes[act.To].AddVM(v)
+					touchedNodes[act.To] = true
+					v.Host = act.To
+					v.LastMigrate = now
+					v.Migrations++
+					v.Touch()
+					touchedVMs[v.ID] = true
+				}
+			}
+			prevRows, prevCols = curRows, curCols
+			now += 60
+		}
+
+		if inc.Stats.ReusedCells == 0 {
+			t.Fatalf("seed %d: cross-round carry never reused a cell", seed)
+		}
+		if inc.Stats.Moves != nai.Stats.Moves {
+			t.Fatalf("seed %d: moves diverged: %d vs %d", seed, inc.Stats.Moves, nai.Stats.Moves)
+		}
+	}
+}
+
+func runningVMs(vms []*vm.VM) []*vm.VM {
+	var out []*vm.VM
+	for _, v := range vms {
+		if v.State == vm.Running {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func onlineCount(c *cluster.Cluster) int {
+	n := 0
+	for _, node := range c.Nodes {
+		if node.State == cluster.On {
+			n++
+		}
+	}
+	return n
+}
+
 // TestIncrementalFewerEvals pins the complexity win: on a round big
 // enough to move many VMs, the incremental solver must spend far
 // fewer score evaluations than the naive one for the same actions.
@@ -237,7 +468,7 @@ func TestWorkedMatrixExampleBothSolvers(t *testing.T) {
 		running := vm.New(1, vm.Requirements{CPU: 200, Mem: 10}, 0, 3600, 7200)
 		running.State = vm.Running
 		running.Host = 0
-		c.Nodes[0].VMs[running.ID] = running
+		c.Nodes[0].AddVM(running)
 		return &policy.Context{
 			Now:     0,
 			Cluster: c,

@@ -30,8 +30,9 @@ func (s *Simulation) applyPlace(a policy.Place) {
 	s.removeFromQueue(v)
 	v.State = vm.Creating
 	v.Host = n.ID
-	n.VMs[v.ID] = v
-	n.CreatingOps++
+	v.Touch()
+	n.AddVM(v)
+	n.BeginCreate()
 	s.emit(EvPlace, v.ID, n.ID, -1)
 	s.recomputeNode(s.rt[n.ID])
 
@@ -45,8 +46,9 @@ func (s *Simulation) onCreated(v *vm.VM) {
 		return // the hosting node failed mid-creation
 	}
 	n := s.cluster.Node(v.Host)
-	n.CreatingOps--
+	n.EndCreate()
 	v.State = vm.Running
+	v.Touch()
 	if v.Start < 0 {
 		v.Start = s.eng.Now()
 	}
@@ -70,9 +72,10 @@ func (s *Simulation) applyMigrate(a policy.Migrate) {
 	}
 	v.State = vm.Migrating
 	v.MigrateTo = dst.ID
-	dst.VMs[v.ID] = v // reservation on the destination
-	src.MigratingOps++
-	dst.MigratingOps++
+	v.Touch()
+	dst.AddVM(v) // reservation on the destination
+	src.BeginMigrate()
+	dst.BeginMigrate()
 	s.emit(EvMigrateStart, v.ID, src.ID, dst.ID)
 	s.recomputeNode(s.rt[src.ID])
 	s.recomputeNode(s.rt[dst.ID])
@@ -88,14 +91,15 @@ func (s *Simulation) onMigrated(v *vm.VM) {
 	}
 	src := s.cluster.Node(v.Host)
 	dst := s.cluster.Node(v.MigrateTo)
-	delete(src.VMs, v.ID)
-	src.MigratingOps--
-	dst.MigratingOps--
+	src.RemoveVM(v)
+	src.EndMigrate()
+	dst.EndMigrate()
 	v.Host = dst.ID
 	v.MigrateTo = -1
 	v.State = vm.Running
 	v.Migrations++
 	v.LastMigrate = s.eng.Now()
+	v.Touch()
 	s.migrations++
 	s.emit(EvMigrated, v.ID, src.ID, dst.ID)
 	s.recomputeNode(s.rt[src.ID])
@@ -110,7 +114,7 @@ func (s *Simulation) turnOn(n *cluster.Node) {
 	}
 	rt := s.rt[n.ID]
 	s.advanceNode(rt, s.eng.Now())
-	n.State = cluster.Booting
+	n.SetState(cluster.Booting)
 	rt.meter.Observe(s.eng.Now(), n.Watts(0))
 	s.emit(EvBoot, -1, n.ID, -1)
 	nn := n
@@ -121,7 +125,7 @@ func (s *Simulation) onBooted(n *cluster.Node) {
 	if n.State != cluster.Booting {
 		return
 	}
-	n.State = cluster.On
+	n.SetState(cluster.On)
 	s.emit(EvBooted, -1, n.ID, -1)
 	s.recomputeNode(s.rt[n.ID])
 	s.armFailure(n)
@@ -135,7 +139,7 @@ func (s *Simulation) turnOff(n *cluster.Node) {
 	}
 	rt := s.rt[n.ID]
 	s.advanceNode(rt, s.eng.Now())
-	n.State = cluster.Off
+	n.SetState(cluster.Off)
 	if rt.failTimer != nil {
 		rt.failTimer.Cancel()
 		rt.failTimer = nil
@@ -178,7 +182,7 @@ func (s *Simulation) onFailure(n *cluster.Node) {
 	s.emit(EvFailed, -1, n.ID, -1)
 
 	for _, v := range sortedByID(n.VMs) {
-		delete(n.VMs, v.ID)
+		n.RemoveVM(v)
 		if t := s.completionTimer[v.ID]; t != nil {
 			t.Cancel()
 			delete(s.completionTimer, v.ID)
@@ -187,28 +191,28 @@ func (s *Simulation) onFailure(n *cluster.Node) {
 		case v.State == vm.Migrating && v.Host == n.ID:
 			// Source died mid-migration: release the destination.
 			if dst := s.cluster.Node(v.MigrateTo); dst != nil {
-				delete(dst.VMs, v.ID)
-				dst.MigratingOps--
+				dst.RemoveVM(v)
+				dst.EndMigrate()
 				s.recomputeNode(s.rt[dst.ID])
 			}
 			s.requeueFailed(v)
 		case v.State == vm.Migrating:
 			// Destination died: the VM keeps running on the source.
 			src := s.cluster.Node(v.Host)
-			src.MigratingOps--
+			src.EndMigrate()
 			v.MigrateTo = -1
 			v.State = vm.Running
+			v.Touch()
 			s.recomputeNode(s.rt[src.ID])
 		case v.State == vm.Creating:
-			n.CreatingOps--
+			n.EndCreate()
 			s.requeueFailed(v)
 		default:
 			s.requeueFailed(v)
 		}
 	}
-	n.CreatingOps = 0
-	n.MigratingOps = 0
-	n.State = cluster.Down
+	n.ResetOps()
+	n.SetState(cluster.Down)
 	rt.meter.Observe(s.eng.Now(), n.Watts(0))
 
 	nn := n
@@ -220,7 +224,7 @@ func (s *Simulation) onRepaired(n *cluster.Node) {
 	if n.State != cluster.Down {
 		return
 	}
-	n.State = cluster.Off
+	n.SetState(cluster.Off)
 	s.rt[n.ID].meter.Observe(s.eng.Now(), n.Watts(0))
 	s.emit(EvRepaired, -1, n.ID, -1)
 	s.round()
@@ -235,6 +239,7 @@ func (s *Simulation) requeueFailed(v *vm.VM) {
 	v.Alloc = 0
 	v.Progress = v.Checkpoint
 	v.Restarts++
+	v.Touch()
 	s.queue = append(s.queue, v)
 	s.emit(EvRequeued, v.ID, -1, -1)
 }

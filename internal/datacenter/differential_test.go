@@ -1,0 +1,54 @@
+package datacenter
+
+import (
+	"testing"
+
+	"energysched/internal/core"
+	"energysched/internal/metrics"
+	"energysched/internal/workload"
+)
+
+// TestSolverFullSimDifferential is the end-to-end counterpart of the
+// solver's per-round differential tests: a full generated-trace
+// simulation must produce a bit-identical report whether the score
+// matrix is carried across rounds (default), rebuilt from scratch
+// every round (FreshMatrix), or evaluated by the naive reference
+// solver. Any stale cross-round cache entry would change a placement,
+// fork the trajectory, and show up in the paper metrics.
+func TestSolverFullSimDifferential(t *testing.T) {
+	gen := workload.DefaultGeneratorConfig()
+	gen.Horizon = 24 * 3600
+	trace := workload.MustGenerate(gen)
+
+	run := func(mod func(*core.Config)) metrics.Report {
+		t.Helper()
+		cfg := core.SBConfig()
+		mod(&cfg)
+		sim, err := New(Config{
+			Trace:     trace,
+			Policy:    core.MustScheduler(cfg),
+			LambdaMin: 30,
+			LambdaMax: 90,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	carry := run(func(*core.Config) {})
+	fresh := run(func(c *core.Config) { c.FreshMatrix = true })
+	naive := run(func(c *core.Config) { c.NaiveSolver = true })
+
+	if carry != fresh {
+		t.Errorf("cross-round carry changed the trajectory:\ncarry: %+v\nfresh: %+v", carry, fresh)
+	}
+	if carry != naive {
+		t.Errorf("incremental solver diverged from the naive oracle:\ncarry: %+v\nnaive: %+v", carry, naive)
+	}
+}

@@ -104,7 +104,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	for _, n := range cl.Nodes {
 		if cfg.StartOnline {
-			n.State = cluster.On
+			n.SetState(cluster.On)
 		}
 		s.rt = append(s.rt, &nodeRT{
 			node:  n,
@@ -356,17 +356,18 @@ func (s *Simulation) onCompletion(v *vm.VM) {
 		// reservation on the destination too.
 		if v.MigrateTo >= 0 {
 			dst := s.cluster.Node(v.MigrateTo)
-			delete(dst.VMs, v.ID)
-			dst.MigratingOps--
-			rt.node.MigratingOps--
+			dst.RemoveVM(v)
+			dst.EndMigrate()
+			rt.node.EndMigrate()
 			v.MigrateTo = -1
 			s.recomputeNode(s.rt[dst.ID])
 		}
 	}
-	delete(rt.node.VMs, v.ID)
+	rt.node.RemoveVM(v)
 	v.State = vm.Completed
 	v.Finish = s.eng.Now()
 	v.Alloc = 0
+	v.Touch()
 	s.completed++
 	s.emit(EvCompleted, v.ID, rt.node.ID, -1)
 

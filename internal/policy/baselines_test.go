@@ -26,7 +26,7 @@ func hostVM(c *cluster.Cluster, id, node int, cpu, mem float64) *vm.VM {
 	v := queuedVM(id, cpu, mem)
 	v.State = vm.Running
 	v.Host = node
-	c.Nodes[node].VMs[v.ID] = v
+	c.Nodes[node].AddVM(v)
 	return v
 }
 

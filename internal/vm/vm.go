@@ -131,7 +131,22 @@ type VM struct {
 	// Checkpoint is the progress value captured by the last
 	// checkpoint (0 = none); recovery resumes from here.
 	Checkpoint float64
+
+	// Epoch counts placement- and demand-relevant mutations of this VM
+	// (lifecycle transitions, host changes, requirement updates). The
+	// datacenter harness bumps it via Touch at every actuation; the
+	// scheduler's cross-round score cache uses it to recognise VMs
+	// whose real state is unchanged since the previous round. Pure
+	// execution progress (Progress, Alloc, Checkpoint) does not bump
+	// the epoch: the score families that read it are recomputed every
+	// round anyway.
+	Epoch uint64
 }
+
+// Touch records a placement- or demand-relevant mutation (state, host,
+// requirements), invalidating cross-round score-cache entries for this
+// VM. Call it after mutating the runtime fields directly.
+func (v *VM) Touch() { v.Epoch++ }
 
 // New builds a VM in the Queued state.
 func New(id int, req Requirements, submit, duration, deadline float64) *VM {
