@@ -1,0 +1,297 @@
+package energysched
+
+// This file is the public surface of the energyschedd service: the
+// wire types of its HTTP/JSON API and a small client for them. The
+// server side lives in internal/server and marshals exactly these
+// structs, so client and daemon cannot drift apart.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// JobSpec is the body of POST /v1/jobs: one HPC job to admit into the
+// live scheduler.
+type JobSpec struct {
+	// Name is an optional label.
+	Name string `json:"name,omitempty"`
+	// CPU requirement in percent (100 = one core). Required.
+	CPU float64 `json:"cpu_pct"`
+	// Mem requirement in abstract units (a node offers 100).
+	Mem float64 `json:"mem_units"`
+	// Duration is the execution time on a dedicated machine, seconds.
+	// Required.
+	Duration float64 `json:"duration_s"`
+	// Submit is the virtual arrival time in seconds. Omitted (nil), it
+	// defaults to the daemon's current virtual time. It must not be in
+	// the daemon's virtual past.
+	Submit *float64 `json:"submit_s,omitempty"`
+	// DeadlineFactor multiplies Duration to produce the SLA deadline
+	// (0 = default 1.5, the middle of the paper's 1.2–2.0 band).
+	DeadlineFactor float64 `json:"deadline_factor,omitempty"`
+	// FaultTolerance is the job's Ftol in [0, 1].
+	FaultTolerance float64 `json:"fault_tolerance,omitempty"`
+	// Arch pins the job to an architecture ("" = any).
+	Arch string `json:"arch,omitempty"`
+	// Hypervisor pins the job to a hypervisor ("" = any).
+	Hypervisor string `json:"hypervisor,omitempty"`
+}
+
+// JobStatus describes one admitted job (GET /v1/jobs/{id}, and the
+// response of POST /v1/jobs).
+type JobStatus struct {
+	ID             int     `json:"id"`
+	Name           string  `json:"name,omitempty"`
+	State          string  `json:"state"`
+	Host           int     `json:"host"`       // hosting node, -1 = none
+	Submit         float64 `json:"submit_s"`   // virtual arrival time
+	Duration       float64 `json:"duration_s"` // dedicated-machine runtime
+	Deadline       float64 `json:"deadline_s"` // absolute SLA deadline
+	ProgressPct    float64 `json:"progress_pct"`
+	Start          float64 `json:"start_s"`  // first running, -1 = never
+	Finish         float64 `json:"finish_s"` // completion, -1 = not yet
+	Migrations     int     `json:"migrations"`
+	Restarts       int     `json:"restarts"`
+	CPU            float64 `json:"cpu_pct"`
+	Mem            float64 `json:"mem_units"`
+	FaultTolerance float64 `json:"fault_tolerance,omitempty"`
+}
+
+// NodeStatus describes one physical node (part of GET /v1/cluster).
+type NodeStatus struct {
+	ID          int     `json:"id"`
+	Class       string  `json:"class"`
+	State       string  `json:"state"` // off | booting | on | down
+	VMs         []int   `json:"vms,omitempty"`
+	CPUReserved float64 `json:"cpu_reserved_pct"`
+	MemReserved float64 `json:"mem_reserved_units"`
+	Occupation  float64 `json:"occupation"`
+	Watts       float64 `json:"watts"`
+}
+
+// ClusterStatus is the response of GET /v1/cluster: the fleet's power
+// states, per-node VM placement and reservation sums.
+type ClusterStatus struct {
+	Now          float64      `json:"now_s"` // virtual time
+	Sealed       bool         `json:"sealed"`
+	Done         bool         `json:"done"`
+	Queue        []int        `json:"queue,omitempty"` // queued VM IDs, FIFO
+	NodesOn      int          `json:"nodes_on"`
+	NodesWorking int          `json:"nodes_working"`
+	TotalWatts   float64      `json:"total_watts"`
+	Nodes        []NodeStatus `json:"nodes"`
+}
+
+// ServiceReport is the response of GET /v1/report and POST /v1/drain:
+// the paper metrics accumulated so far (or finally, after a drain).
+type ServiceReport struct {
+	Policy        string  `json:"policy"`
+	LambdaMin     float64 `json:"lambda_min_pct"`
+	LambdaMax     float64 `json:"lambda_max_pct"`
+	AvgWorking    float64 `json:"avg_working_nodes"`
+	AvgOnline     float64 `json:"avg_online_nodes"`
+	CPUHours      float64 `json:"cpu_hours"`
+	EnergyKWh     float64 `json:"energy_kwh"`
+	Satisfaction  float64 `json:"satisfaction_pct"`
+	Delay         float64 `json:"delay_pct"`
+	Migrations    int     `json:"migrations"`
+	JobsCompleted int     `json:"jobs_completed"`
+	JobsTotal     int     `json:"jobs_total"`
+	Failures      int     `json:"failures"`
+	SimEnd        float64 `json:"sim_end_s"`
+	// Final is true once the workload has been drained: every admitted
+	// job completed and the report will not change again.
+	Final bool `json:"final"`
+	// Table is the report rendered like a row of the paper's tables.
+	Table string `json:"table"`
+}
+
+// SnapshotInfo is the response of POST /v1/snapshot and /v1/restore.
+type SnapshotInfo struct {
+	Path   string  `json:"path"`
+	Jobs   int     `json:"jobs"`
+	Now    float64 `json:"now_s"`
+	Sealed bool    `json:"sealed"`
+}
+
+// APIError is the error body every endpoint returns on failure.
+type APIError struct {
+	Status  int    `json:"status"`
+	Message string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("energyschedd: %s (http %d)", e.Message, e.Status)
+}
+
+// Client talks to an energyschedd daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:7781".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) call(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("energysched: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, apiErr) != nil || apiErr.Message == "" {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return apiErr
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitJob admits a job (POST /v1/jobs) and returns its status,
+// including the assigned ID.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.call(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches one job's status (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id int) (JobStatus, error) {
+	var st JobStatus
+	err := c.call(ctx, http.MethodGet, "/v1/jobs/"+strconv.Itoa(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists every admitted job (GET /v1/jobs).
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var st []JobStatus
+	err := c.call(ctx, http.MethodGet, "/v1/jobs", nil, &st)
+	return st, err
+}
+
+// Cluster fetches the fleet status (GET /v1/cluster).
+func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
+	var st ClusterStatus
+	err := c.call(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	return st, err
+}
+
+// Report fetches the paper metrics accumulated so far (GET /v1/report).
+func (c *Client) Report(ctx context.Context) (ServiceReport, error) {
+	var rep ServiceReport
+	err := c.call(ctx, http.MethodGet, "/v1/report", nil, &rep)
+	return rep, err
+}
+
+// Drain seals the workload, runs the simulation until every admitted
+// job completes, and returns the final report (POST /v1/drain).
+func (c *Client) Drain(ctx context.Context) (ServiceReport, error) {
+	var rep ServiceReport
+	err := c.call(ctx, http.MethodPost, "/v1/drain", nil, &rep)
+	return rep, err
+}
+
+// Snapshot checkpoints the daemon's state to disk (POST /v1/snapshot).
+// An empty path lets the daemon pick one under its snapshot directory.
+func (c *Client) Snapshot(ctx context.Context, path string) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	err := c.call(ctx, http.MethodPost, "/v1/snapshot", map[string]string{"path": path}, &info)
+	return info, err
+}
+
+// Restore replaces the daemon's state with a snapshot's (POST
+// /v1/restore): the admitted-job log is replayed deterministically up
+// to the snapshot's virtual time.
+func (c *Client) Restore(ctx context.Context, path string) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	err := c.call(ctx, http.MethodPost, "/v1/restore", map[string]string{"path": path}, &info)
+	return info, err
+}
+
+// Events subscribes to the daemon's event stream (GET /v1/events,
+// server-sent events) and calls fn for every event until ctx is
+// cancelled, the stream ends, or fn returns a non-nil error (which is
+// returned). since > 0 requests replay from that sequence number (the
+// daemon keeps a bounded ring of recent events).
+func (c *Client) Events(ctx context.Context, since uint64, fn func(seq uint64, e Event) error) error {
+	path := "/v1/events"
+	if since > 0 {
+		path += "?since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return &APIError{Status: resp.StatusCode, Message: "event stream rejected"}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var seq uint64
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id:"):
+			seq, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "data:"):
+			var e Event
+			if err := json.Unmarshal([]byte(strings.TrimSpace(line[5:])), &e); err != nil {
+				return fmt.Errorf("energysched: decoding event: %w", err)
+			}
+			if err := fn(seq, e); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

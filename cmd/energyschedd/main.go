@@ -1,0 +1,115 @@
+// Command energyschedd hosts the energy-aware scheduler as a
+// long-running service: jobs are admitted over an HTTP/JSON API
+// instead of replayed from a trace file, the fleet and the paper
+// metrics are observable while the simulation runs, events stream
+// over SSE, and the daemon state can be checkpointed to disk and
+// restored after a restart.
+//
+//	energyschedd -listen :7781 -pace max
+//	energyschedd -listen :7781 -pace 60 -policy SB -snapshot-dir /var/lib/energyschedd
+//	energyschedd -restore /var/lib/energyschedd/energyschedd-120.snapshot.json
+//
+// API quickstart (see docs/ARCHITECTURE.md, "Service mode"):
+//
+//	curl -s -X POST localhost:7781/v1/jobs -d '{"cpu_pct":200,"mem_units":10,"duration_s":3600}'
+//	curl -s localhost:7781/v1/cluster | jq .nodes_on
+//	curl -s localhost:7781/v1/report | jq -r .table
+//	curl -s -N localhost:7781/v1/events
+//	curl -s -X POST localhost:7781/v1/snapshot
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"energysched"
+	"energysched/internal/cli"
+	"energysched/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("energyschedd: ")
+
+	var (
+		listen     = flag.String("listen", ":7781", "HTTP listen address")
+		policyName = flag.String("policy", "SB", "scheduling policy: RD, RR, BF, DBF, SB0, SB1, SB2, SB")
+		seed       = flag.Int64("seed", 1, "random seed")
+		lmin       = flag.Float64("lmin", 30, "λmin: working ratio below which idle nodes are shut down (%)")
+		lmax       = flag.Float64("lmax", 90, "λmax: working ratio above which nodes are booted (%)")
+		cempty     = flag.Float64("cempty", 20, "Ce: empty-host penalty of the score-based policy")
+		cfill      = flag.Float64("cfill", 40, "Cf: occupied-host reward of the score-based policy")
+		failures   = flag.Bool("failures", false, "enable reliability-driven node failures")
+		checkpoint = flag.Float64("checkpoint", 0, "VM checkpoint interval in virtual seconds (0 = off)")
+		adaptive   = flag.Float64("adaptive", 0, "dynamic-λ satisfaction target in percent (0 = static)")
+		pace       = flag.String("pace", "max", "virtual pacing: 'max' (admission-gated, deterministic) or virtual seconds per wall second (e.g. 1, 60)")
+		snapDir    = flag.String("snapshot-dir", ".", "directory for unnamed snapshots")
+		restore    = flag.String("restore", "", "restore this snapshot before serving")
+	)
+	cli.Parse("energyschedd")
+
+	paceVal := 0.0 // <= 0 selects max pacing
+	if *pace != "max" {
+		v, err := strconv.ParseFloat(*pace, 64)
+		if err != nil || v <= 0 {
+			cli.Usagef("energyschedd", "-pace must be 'max' or a positive number, got %q", *pace)
+		}
+		paceVal = v
+	}
+
+	srv, err := server.New(server.Config{
+		Policy:            *policyName,
+		Seed:              *seed,
+		LambdaMin:         *lmin,
+		LambdaMax:         *lmax,
+		Score:             &energysched.ScoreParams{Cempty: *cempty, Cfill: *cfill},
+		Failures:          *failures,
+		CheckpointSeconds: *checkpoint,
+		AdaptiveTarget:    *adaptive,
+		Pace:              paceVal,
+		SnapshotDir:       *snapDir,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		cli.Fatalf("energyschedd", "%v", err)
+	}
+	defer srv.Close()
+
+	if *restore != "" {
+		// The server's Logf reports the restore details.
+		if _, err := srv.RestoreFile(*restore); err != nil {
+			cli.Fatalf("energyschedd", "restore: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (policy %s, pace %s, version %s)", *listen, *policyName, *pace, cli.Version())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("caught %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cli.Fatalf("energyschedd", "%v", err)
+		}
+	}
+	fmt.Println("bye")
+}

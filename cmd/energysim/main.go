@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"energysched"
+	"energysched/internal/cli"
 	"energysched/internal/metrics"
 )
 
@@ -43,7 +44,7 @@ func main() {
 		jobsOut    = flag.String("jobs", "", "write per-job outcomes CSV to this file")
 		powerOut   = flag.String("power", "", "write the datacenter power trace CSV to this file")
 	)
-	flag.Parse()
+	cli.Parse("energysim")
 
 	trace, err := loadTrace(*traceFile, *gwfFile, *days, *seed)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"energysched/internal/cli"
 	"energysched/internal/datacenter"
 	"energysched/internal/timeline"
 )
@@ -27,10 +28,9 @@ func main() {
 		eventsIn = flag.String("events", "", "JSONL event log (required; - = stdin)")
 		width    = flag.Int("width", 100, "chart width in time buckets")
 	)
-	flag.Parse()
+	cli.Parse("replay")
 	if *eventsIn == "" {
-		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("replay", "missing required -events")
 	}
 
 	in := os.Stdin

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 
+	"energysched/internal/cli"
 	"energysched/internal/experiments"
 	"energysched/internal/workload"
 )
@@ -31,7 +32,7 @@ func main() {
 		policy = flag.String("policy", "SB", "policy to sweep: SB, SB2, BF, DBF")
 		out    = flag.String("o", "", "output CSV file (empty = stdout)")
 	)
-	flag.Parse()
+	cli.Parse("sweep")
 
 	gen := workload.DefaultGeneratorConfig()
 	gen.Horizon = *days * 24 * 3600

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 
+	"energysched/internal/cli"
 	"energysched/internal/experiments"
 	"energysched/internal/metrics"
 	"energysched/internal/workload"
@@ -31,7 +32,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed (single-run mode)")
 		replicas = flag.Int("replicas", 1, "replicate each row over this many seeds and report mean ± 95% CI")
 	)
-	flag.Parse()
+	cli.Parse("tables")
 
 	cfg := workload.DefaultGeneratorConfig()
 	cfg.Horizon = *days * 24 * 3600

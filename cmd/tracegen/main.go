@@ -11,6 +11,7 @@ import (
 	"log"
 	"os"
 
+	"energysched/internal/cli"
 	"energysched/internal/workload"
 )
 
@@ -26,7 +27,7 @@ func main() {
 		out     = flag.String("o", "", "output file (empty = stdout)")
 		summary = flag.Bool("summary", false, "print trace statistics to stderr")
 	)
-	flag.Parse()
+	cli.Parse("tracegen")
 
 	cfg := workload.DefaultGeneratorConfig()
 	cfg.Horizon = *days * 24 * 3600

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 
+	"energysched/internal/cli"
 	"energysched/internal/experiments"
 )
 
@@ -26,7 +27,7 @@ func main() {
 		fig1Out = flag.String("fig1", "", "write the 1 Hz real/simulated power traces to this CSV")
 		skipT1  = flag.Bool("no-table1", false, "skip Table I")
 	)
-	flag.Parse()
+	cli.Parse("validate")
 
 	if !*skipT1 {
 		fmt.Println("Table I — virtualized server power usage")

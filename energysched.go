@@ -202,18 +202,19 @@ func NewPolicy(name string, seed int64, score *ScoreParams) (policy.Policy, erro
 	}
 }
 
-// Run executes one simulation and returns its result.
-func Run(opts Options) (Result, error) {
-	if opts.Trace == nil {
-		return Result{}, fmt.Errorf("energysched: Options.Trace is required")
-	}
+// NewSimulation builds the configured simulation without executing
+// it, for harnesses that drive the engine step-wise — primarily the
+// energyschedd server, which injects jobs online (Inject/StepBefore/
+// Drain) instead of replaying a pre-built trace. Options.Trace may be
+// nil here; Run still requires one.
+func NewSimulation(opts Options) (*datacenter.Simulation, error) {
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
 	}
 	pol, err := NewPolicy(opts.Policy, seed, opts.Score)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	cfg := datacenter.Config{
 		Trace:              opts.Trace,
@@ -229,14 +230,26 @@ func Run(opts Options) (Result, error) {
 	if opts.Classes != nil {
 		cfg.Classes, err = convertClasses(opts.Classes)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 	sim, err := datacenter.New(cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	sim.PowerTrace = opts.PowerTrace
+	return sim, nil
+}
+
+// Run executes one simulation and returns its result.
+func Run(opts Options) (Result, error) {
+	if opts.Trace == nil {
+		return Result{}, fmt.Errorf("energysched: Options.Trace is required")
+	}
+	sim, err := NewSimulation(opts)
+	if err != nil {
+		return Result{}, err
+	}
 	rep, err := sim.Run()
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,87 @@
+// Package cli normalizes the ergonomics of the cmd/* binaries: flag
+// parsing that fails with a one-line usage error (never a stack trace
+// or a full defaults dump), a uniform -version flag fed by the module
+// build info plus an optional ldflags git describe, and -h/-help
+// printing the full flag reference.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+)
+
+// describe carries `git describe` output when the binary is built with
+//
+//	go build -ldflags "-X energysched/internal/cli.describe=$(git describe --tags --always --dirty)"
+//
+// and stays empty on plain `go build`.
+var describe string
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Version renders the module version (from the embedded build info)
+// plus the ldflags git describe, when present.
+func Version() string {
+	v := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		v = bi.Main.Version
+	}
+	if describe != "" {
+		v += " " + describe
+	}
+	return v
+}
+
+// Parse parses os.Args for a binary named name using the global flag
+// set, after registering the uniform -version flag. Unknown flags and
+// bad values print a one-line error plus a pointer to -h and exit
+// with status 2; -h/-help prints the full flag reference and exits 0;
+// -version prints the version and exits 0.
+func Parse(name string) {
+	ParseArgs(name, os.Args[1:])
+}
+
+// ParseArgs is Parse over an explicit argument list (tests).
+func ParseArgs(name string, args []string) {
+	fs := flag.CommandLine
+	version := fs.Bool("version", false, "print version and exit")
+	fs.Init(name, flag.ContinueOnError)
+	// Silence the flag package's own error+usage dump; errors are
+	// reported as a single line below.
+	fs.SetOutput(io.Discard)
+	fs.Usage = func() {}
+	err := fs.Parse(args)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		fs.SetOutput(os.Stderr)
+		fmt.Fprintf(os.Stderr, "usage of %s:\n", name)
+		fs.PrintDefaults()
+		exit(0)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "%s: %v (run '%s -h' for usage)\n", name, err, name)
+		exit(2)
+	}
+	if *version {
+		fmt.Printf("%s %s\n", name, Version())
+		exit(0)
+	}
+}
+
+// Fatalf prints a one-line error and exits with status 1 (runtime
+// errors after successful flag parsing).
+func Fatalf(name, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, name+": "+format+"\n", args...)
+	exit(1)
+}
+
+// Usagef prints a one-line usage error plus a pointer to -h and exits
+// with status 2 (missing or inconsistent required flags).
+func Usagef(name, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, name+": "+format+" (run '%s -h' for usage)\n", append(args, name)...)
+	exit(2)
+}

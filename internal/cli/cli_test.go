@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// withExit captures the exit code instead of terminating the test
+// binary, and restores the global flag set afterwards (ParseArgs
+// mutates flag.CommandLine).
+func withExit(t *testing.T, fn func()) (code int, exited bool) {
+	t.Helper()
+	oldExit := exit
+	oldFS := flag.CommandLine
+	defer func() {
+		exit = oldExit
+		flag.CommandLine = oldFS
+		recover() // unwind from the panic that stands in for os.Exit
+	}()
+	exit = func(c int) {
+		code, exited = c, true
+		panic("cli-test-exit")
+	}
+	fn()
+	return code, exited
+}
+
+func TestParseArgsOK(t *testing.T) {
+	code, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		n := flag.CommandLine.Int("n", 1, "count")
+		ParseArgs("x", []string{"-n", "7"})
+		if *n != 7 {
+			t.Errorf("n = %d, want 7", *n)
+		}
+	})
+	if exited {
+		t.Fatalf("clean parse exited with %d", code)
+	}
+}
+
+func TestParseArgsUnknownFlagExits2(t *testing.T) {
+	code, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		ParseArgs("x", []string{"-definitely-not-a-flag"})
+	})
+	if !exited || code != 2 {
+		t.Fatalf("unknown flag: exited=%v code=%d, want exit 2", exited, code)
+	}
+}
+
+func TestParseArgsBadValueExits2(t *testing.T) {
+	code, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		flag.CommandLine.Float64("days", 7, "days")
+		ParseArgs("x", []string{"-days", "not-a-number"})
+	})
+	if !exited || code != 2 {
+		t.Fatalf("bad value: exited=%v code=%d, want exit 2", exited, code)
+	}
+}
+
+func TestParseArgsVersionExits0(t *testing.T) {
+	code, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		ParseArgs("x", []string{"-version"})
+	})
+	if !exited || code != 0 {
+		t.Fatalf("-version: exited=%v code=%d, want exit 0", exited, code)
+	}
+}
+
+func TestParseArgsHelpExits0(t *testing.T) {
+	code, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		ParseArgs("x", []string{"-h"})
+	})
+	if !exited || code != 0 {
+		t.Fatalf("-h: exited=%v code=%d, want exit 0", exited, code)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if v := Version(); v == "" || strings.TrimSpace(v) == "" {
+		t.Fatal("empty version string")
+	}
+}

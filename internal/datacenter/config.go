@@ -23,7 +23,8 @@ import (
 type Config struct {
 	// Classes describes the physical fleet (default: PaperClasses).
 	Classes []cluster.Class
-	// Trace is the workload to execute. Required.
+	// Trace is the workload to execute. Required for Run; an online
+	// harness may leave it nil and admit jobs with Simulation.Inject.
 	Trace *workload.Trace
 	// Policy decides placements. Required.
 	Policy policy.Policy
@@ -131,11 +132,10 @@ func (c Config) Defaults() Config {
 	return c
 }
 
-// Validate reports configuration errors after Defaults.
+// Validate reports configuration errors after Defaults. A Trace is
+// not required here: an online harness injects jobs one at a time
+// (see Simulation.Inject); Run still demands a non-empty trace.
 func (c Config) Validate() error {
-	if c.Trace == nil || len(c.Trace.Jobs) == 0 {
-		return fmt.Errorf("datacenter: config needs a non-empty trace")
-	}
 	if c.Policy == nil {
 		return fmt.Errorf("datacenter: config needs a policy")
 	}

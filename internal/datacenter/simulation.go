@@ -12,6 +12,7 @@ import (
 	"energysched/internal/simkit"
 	"energysched/internal/sla"
 	"energysched/internal/vm"
+	"energysched/internal/workload"
 	"energysched/internal/xen"
 )
 
@@ -26,6 +27,17 @@ type nodeRT struct {
 	// eff is the current thrash efficiency: the useful fraction of
 	// each granted CPU cycle (1 unless the node is overcommitted).
 	eff float64
+
+	// Allocator memo: the power state, owner set and demand vector the
+	// Xen allocator last ran for on this node. When an actuation
+	// recomputes the node and nothing in this signature changed, the
+	// allocations, efficiency, draw and completion ETAs are all
+	// unchanged too, and recomputeNode only accrues progress (see the
+	// ROADMAP PR 2 note on per-round recomputeNode cost).
+	memoValid   bool
+	memoState   cluster.PowerState
+	memoOwners  []int // owner VM IDs, in demand order
+	memoDemands []xen.Demand
 }
 
 // Simulation is one run in progress. Build with New, execute with
@@ -58,12 +70,21 @@ type Simulation struct {
 	failCount   int
 	completed   int
 	roundActive bool
+	started     bool
+	sealed      bool
 	done        bool
 
 	// ctxQueue and ctxActive are scratch buffers for the per-round
 	// policy context, reused so steady-state rounds don't allocate.
 	ctxQueue  []*vm.VM
 	ctxActive []*vm.VM
+
+	// ownScratch and demScratch are recomputeNode's demand-build
+	// buffers, and accScratch is accrue's owner buffer, reused so
+	// actuations don't allocate.
+	ownScratch []*vm.VM
+	demScratch []xen.Demand
+	accScratch []*vm.VM
 
 	// PowerTrace, when non-nil, receives (time, totalWatts) samples
 	// at every power change (used by the validation experiment).
@@ -123,70 +144,187 @@ func (s *Simulation) Engine() *simkit.Engine { return s.eng }
 // Cluster exposes the cluster model.
 func (s *Simulation) Cluster() *cluster.Cluster { return s.cluster }
 
+// Policy exposes the scheduling policy driving this simulation (the
+// server harness reads solver statistics off it).
+func (s *Simulation) Policy() policy.Policy { return s.cfg.Policy }
+
 // QueueLen returns the number of VMs waiting in the virtual host.
 func (s *Simulation) QueueLen() int { return len(s.queue) }
+
+// AppendQueue appends the queued VMs in FIFO order to buf and returns
+// it (an observability snapshot for the server harness).
+func (s *Simulation) AppendQueue(buf []*vm.VM) []*vm.VM {
+	return append(buf, s.queue...)
+}
 
 // VMs returns all VMs materialized so far (indexed by ID).
 func (s *Simulation) VMs() []*vm.VM { return s.vms }
 
+// Now returns the current virtual time in seconds.
+func (s *Simulation) Now() float64 { return s.eng.Now() }
+
+// WattsNow returns the datacenter's instantaneous power draw.
+func (s *Simulation) WattsNow() float64 { return s.currentWatts() }
+
+// NodeWatts returns node id's most recently observed draw.
+func (s *Simulation) NodeWatts(id int) float64 { return s.rt[id].meter.CurrentWatts() }
+
 // Run executes the trace to completion (or cfg.MaxTime) and returns
-// the report.
+// the report. It is a convenience composition of the step-wise
+// primitives below: Inject every trace job, Start the background
+// machinery, then Drain.
 func (s *Simulation) Run() (metrics.Report, error) {
-	// Materialize VMs and schedule arrivals.
+	if s.cfg.Trace == nil || len(s.cfg.Trace.Jobs) == 0 {
+		return metrics.Report{}, fmt.Errorf("datacenter: config needs a non-empty trace")
+	}
 	for _, j := range s.cfg.Trace.Jobs {
-		j := j
-		if err := j.Validate(); err != nil {
+		if _, err := s.Inject(j); err != nil {
 			return metrics.Report{}, err
 		}
-		v := vm.New(len(s.vms), vm.Requirements{
-			CPU: j.CPU, Mem: j.Mem, Arch: j.Arch, Hypervisor: j.Hypervisor,
-		}, j.Submit, j.Duration, j.Deadline())
-		v.Name = j.Name
-		v.FaultTolerance = j.FaultTolerance
-		s.vms = append(s.vms, v)
-		s.eng.At(j.Submit, func() { s.onArrival(v) })
 	}
-	// Arm failure processes for nodes that start online.
+	s.Start()
+	return s.Drain(), nil
+}
+
+// Inject admits one job into the simulation: it validates the job,
+// materializes its VM (IDs are assigned in admission order) and
+// schedules the arrival with injection priority (simkit.AtFront), so
+// a job admitted online before the clock reaches its submit time is
+// processed exactly as if it had been part of a pre-loaded trace.
+// Submit times in the engine's past and admissions after Seal are
+// rejected.
+func (s *Simulation) Inject(j workload.Job) (*vm.VM, error) {
+	if s.sealed {
+		return nil, fmt.Errorf("datacenter: workload is sealed, job %d rejected", j.ID)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if j.Submit < s.eng.Now() {
+		return nil, fmt.Errorf("datacenter: job %d submits at %.3f, before virtual now %.3f",
+			j.ID, j.Submit, s.eng.Now())
+	}
+	v := vm.New(len(s.vms), vm.Requirements{
+		CPU: j.CPU, Mem: j.Mem, Arch: j.Arch, Hypervisor: j.Hypervisor,
+	}, j.Submit, j.Duration, j.Deadline())
+	v.Name = j.Name
+	v.FaultTolerance = j.FaultTolerance
+	s.vms = append(s.vms, v)
+	s.eng.AtFront(j.Submit, func() { s.onArrival(v) })
+	return v, nil
+}
+
+// Start arms the background machinery: failure processes for nodes
+// that are already online, the housekeeping tick and the checkpoint
+// tick. Run calls it internally after injecting the trace; an online
+// harness calls it once before driving the engine stepwise. Start is
+// idempotent.
+func (s *Simulation) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	for _, n := range s.cluster.Nodes {
 		if n.State == cluster.On {
 			s.armFailure(n)
 		}
 	}
-	// Housekeeping tick.
-	s.eng.At(0, s.tick)
+	s.eng.At(s.eng.Now(), s.tick)
 	if s.cfg.CheckpointInterval > 0 {
-		s.eng.At(s.cfg.CheckpointInterval, s.checkpointTick)
+		s.eng.At(s.eng.Now()+s.cfg.CheckpointInterval, s.checkpointTick)
 	}
+}
 
-	horizon := s.cfg.MaxTime
-	if horizon <= 0 {
-		horizon = 400 * 24 * 3600 // safety net; Stop() fires first
+// Seal declares the workload complete: no further Inject is accepted,
+// and once every admitted VM completes, the engine stops and the
+// simulation is done. Sealing with every admitted job already
+// completed (including the zero-job case) marks it done immediately.
+func (s *Simulation) Seal() {
+	if s.sealed {
+		return
 	}
-	s.eng.Run(horizon)
+	s.sealed = true
+	if s.completed == len(s.vms) {
+		s.done = true
+	}
+}
+
+// Sealed reports whether the workload has been sealed.
+func (s *Simulation) Sealed() bool { return s.sealed }
+
+// Done reports whether a sealed simulation has completed every
+// admitted job.
+func (s *Simulation) Done() bool { return s.done }
+
+// StepBefore fires every event scheduled strictly before virtual time
+// t and advances the clock to t (see simkit.Engine.RunBefore). An
+// online harness keeps t at its admission watermark — the largest
+// submit time admitted so far — so jobs can still be injected at the
+// boundary instant with full determinism.
+func (s *Simulation) StepBefore(t float64) float64 {
+	return s.eng.RunBefore(t)
+}
+
+// Drain seals the workload and runs the remaining events until every
+// admitted job completes (or the safety horizon passes), then returns
+// the final report — the tail of Run, callable from an online harness.
+func (s *Simulation) Drain() metrics.Report {
+	s.Seal()
+	if !s.done {
+		s.eng.Run(s.horizon())
+	}
+	// Close the books: commit progress and energy through the final
+	// instant (this also materializes Progress on any VM cut off by a
+	// MaxTime horizon, for the per-job CSV). ReportAt then reads the
+	// same values with zero-width extensions.
 	end := s.eng.Now()
-
-	// Close the books.
 	for _, rt := range s.rt {
 		s.advanceNode(rt, end)
 		rt.meter.Close(end)
 	}
-	report := metrics.Report{
+	return s.ReportAt(end)
+}
+
+func (s *Simulation) horizon() float64 {
+	h := s.cfg.MaxTime
+	if h <= 0 {
+		// Safety net relative to the current clock (an online harness
+		// may already sit at a large watermark); Stop() fires first.
+		h = s.eng.Now() + 400*24*3600
+	}
+	if now := s.eng.Now(); h < now {
+		// Never hand the engine a horizon behind the clock: jobs
+		// admitted past MaxTime would otherwise rewind virtual time
+		// and panic the progress/energy accounting.
+		h = now
+	}
+	return h
+}
+
+// ReportAt returns the paper metrics as of virtual time t (extending
+// every node's progress and energy integral to t) WITHOUT mutating
+// any simulation state. The purity matters beyond hygiene: interim
+// reports and metric scrapes must not split the float integration
+// intervals of the progress/energy accumulators, or a served report
+// would perturb the final report's last ulps and break the
+// online-equals-offline byte-identity contract.
+func (s *Simulation) ReportAt(t float64) metrics.Report {
+	return metrics.Report{
 		Policy:        s.cfg.Policy.Name(),
 		LambdaMin:     s.cfg.LambdaMin * unitPercent(s.cfg.LambdaMin),
 		LambdaMax:     s.cfg.LambdaMax * unitPercent(s.cfg.LambdaMax),
-		AvgWorking:    s.workAvg.Mean(end),
-		AvgOnline:     s.onAvg.Mean(end),
-		CPUHours:      s.cpuSeconds / 100 / 3600,
-		EnergyKWh:     s.totalKWh(),
+		AvgWorking:    s.workAvg.Mean(t),
+		AvgOnline:     s.onAvg.Mean(t),
+		CPUHours:      s.cpuSecondsAt(t) / 100 / 3600,
+		EnergyKWh:     s.totalKWhAt(t),
 		Satisfaction:  s.satAgg.Mean(),
 		Delay:         s.delayAgg.Mean(),
 		Migrations:    s.migrations,
 		JobsCompleted: s.completed,
 		JobsTotal:     len(s.vms),
 		Failures:      s.failCount,
-		SimEnd:        end,
+		SimEnd:        t,
 	}
-	return report, nil
 }
 
 func unitPercent(v float64) float64 {
@@ -196,12 +334,24 @@ func unitPercent(v float64) float64 {
 	return 1
 }
 
-func (s *Simulation) totalKWh() float64 {
+// totalKWhAt extends every meter's integral to t without mutation.
+func (s *Simulation) totalKWhAt(t float64) float64 {
 	var kwh float64
 	for _, rt := range s.rt {
-		kwh += rt.meter.KWh()
+		kwh += rt.meter.KWhAt(t)
 	}
 	return kwh
+}
+
+// cpuSecondsAt extends the executed-work accumulator to t without
+// mutation, mirroring advanceNode's accrual exactly (same terms, same
+// order) so the result is bit-identical to committing the advance.
+func (s *Simulation) cpuSecondsAt(t float64) float64 {
+	acc := s.cpuSeconds
+	for _, rt := range s.rt {
+		acc = s.accrue(rt, t, false, acc)
+	}
+	return acc
 }
 
 // --- progress and power accounting ---
@@ -209,28 +359,48 @@ func (s *Simulation) totalKWh() float64 {
 // advanceNode accrues job progress and leaves the meter positioned at
 // time t with its previous draw (the caller recomputes the new draw).
 func (s *Simulation) advanceNode(rt *nodeRT, t float64) {
+	s.cpuSeconds = s.accrue(rt, t, true, s.cpuSeconds)
+	rt.lastAdvance = t
+}
+
+// accrue adds the CPU-seconds each hosted VM executes on rt between
+// rt.lastAdvance and t to acc, committing them to the VMs' Progress
+// when commit is set, and returns the new acc. Terms are accumulated
+// in ascending VM-ID order — NOT map order — so the float sum is
+// identical across runs and across simulation instances; the
+// online/offline/restore byte-identity contract rests on this.
+func (s *Simulation) accrue(rt *nodeRT, t float64, commit bool, acc float64) float64 {
 	dt := t - rt.lastAdvance
 	if dt < 0 {
 		panic(fmt.Sprintf("datacenter: node %d time going backwards", rt.node.ID))
 	}
 	if dt == 0 {
-		return
+		return acc
 	}
-	for _, v := range rt.node.VMs {
-		if v.Host != rt.node.ID {
-			continue // migrating in: runs on the source for now
+	// The accruing set is exactly the allocator's owner set (a
+	// migrating-in VM runs on the source for now); share the one
+	// definition so the two can never drift apart.
+	buf := s.appendOwners(rt, s.accScratch[:0])
+	for _, v := range buf {
+		term := v.Alloc * rt.eff * dt
+		if commit {
+			v.Progress += term
 		}
-		if v.State == vm.Running || v.State == vm.Migrating {
-			v.Progress += v.Alloc * rt.eff * dt
-			s.cpuSeconds += v.Alloc * rt.eff * dt
-		}
+		acc += term
 	}
-	rt.lastAdvance = t
+	s.accScratch = buf[:0]
+	return acc
 }
 
 // recomputeNode re-runs the Xen allocator on a node after any change
 // in its hosted set or operations, refreshes the power draw, and
-// reschedules completion events for its running VMs.
+// reschedules completion events for its running VMs. When the node's
+// power state, owner set and demand vector are unchanged since the
+// previous recompute, the allocation, efficiency, draw and completion
+// ETAs are unchanged too and everything past the progress accrual is
+// skipped. A PowerTrace subscriber still receives its sample on the
+// skip path (same cadence, same values as a full recompute), so
+// attaching an observer never alters the simulation's trajectory.
 func (s *Simulation) recomputeNode(rt *nodeRT) {
 	now := s.eng.Now()
 	s.advanceNode(rt, now)
@@ -238,21 +408,24 @@ func (s *Simulation) recomputeNode(rt *nodeRT) {
 
 	// Build the demand set: guest domains hosted here plus dom0
 	// service work for in-flight operations.
-	var owners []*vm.VM
-	var demands []xen.Demand
-	for _, v := range sortedByID(n.VMs) {
-		if v.Host != n.ID {
-			continue
-		}
-		if v.State != vm.Running && v.State != vm.Migrating {
-			continue
-		}
-		owners = append(owners, v)
+	owners := s.appendOwners(rt, s.ownScratch[:0])
+	demands := s.demScratch[:0]
+	for _, v := range owners {
 		demands = append(demands, xen.Demand{Weight: v.Weight, Cap: v.Req.CPU, Want: v.Req.CPU})
 	}
 	ops := n.CreatingOps + n.MigratingOps
 	for i := 0; i < ops; i++ {
 		demands = append(demands, xen.Demand{Weight: s.cfg.OpWeight, Cap: s.cfg.OpOverheadCPU, Want: s.cfg.OpOverheadCPU})
+	}
+	s.ownScratch, s.demScratch = owners[:0], demands[:0]
+
+	if rt.memoValid && rt.memoMatches(n.State, owners, demands) {
+		// The draw is unchanged; the meter extrapolates the current
+		// level, so no observation is needed.
+		if s.PowerTrace != nil {
+			s.PowerTrace(now, s.currentWatts())
+		}
+		return
 	}
 
 	var util float64
@@ -274,6 +447,7 @@ func (s *Simulation) recomputeNode(rt *nodeRT) {
 			v.Alloc = 0
 		}
 	}
+	rt.memoize(n.State, owners, demands)
 
 	watts := n.Watts(util)
 	rt.meter.Observe(now, watts)
@@ -287,6 +461,53 @@ func (s *Simulation) recomputeNode(rt *nodeRT) {
 	}
 }
 
+// appendOwners collects the node's demand-set owners — guest domains
+// hosted here in Running or Migrating state — into buf, in ID order.
+func (s *Simulation) appendOwners(rt *nodeRT, buf []*vm.VM) []*vm.VM {
+	n := rt.node
+	for _, v := range n.VMs {
+		if v.Host != n.ID {
+			continue
+		}
+		if v.State != vm.Running && v.State != vm.Migrating {
+			continue
+		}
+		buf = append(buf, v)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].ID < buf[j].ID })
+	return buf
+}
+
+// memoMatches reports whether the node's allocator inputs are
+// unchanged since the last full recompute.
+func (rt *nodeRT) memoMatches(state cluster.PowerState, owners []*vm.VM, demands []xen.Demand) bool {
+	if state != rt.memoState || len(owners) != len(rt.memoOwners) || len(demands) != len(rt.memoDemands) {
+		return false
+	}
+	for i, v := range owners {
+		if v.ID != rt.memoOwners[i] {
+			return false
+		}
+	}
+	for i, d := range demands {
+		if d != rt.memoDemands[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoize records the allocator inputs the node was last computed for.
+func (rt *nodeRT) memoize(state cluster.PowerState, owners []*vm.VM, demands []xen.Demand) {
+	rt.memoValid = true
+	rt.memoState = state
+	rt.memoOwners = rt.memoOwners[:0]
+	for _, v := range owners {
+		rt.memoOwners = append(rt.memoOwners, v.ID)
+	}
+	rt.memoDemands = append(rt.memoDemands[:0], demands...)
+}
+
 func (s *Simulation) currentWatts() float64 {
 	var w float64
 	for _, rt := range s.rt {
@@ -296,21 +517,31 @@ func (s *Simulation) currentWatts() float64 {
 }
 
 func (s *Simulation) rescheduleCompletion(v *vm.VM) {
-	if t := s.completionTimer[v.ID]; t != nil {
-		t.Cancel()
-		delete(s.completionTimer, v.ID)
+	old := s.completionTimer[v.ID]
+	cancel := func() {
+		if old != nil {
+			old.Cancel()
+			delete(s.completionTimer, v.ID)
+		}
 	}
 	if v.State != vm.Running && v.State != vm.Migrating {
+		cancel()
 		return
 	}
 	if v.Alloc <= 0 || v.Host < 0 {
+		cancel()
 		return // starved; a later recompute will revisit
 	}
 	rate := v.Alloc * s.rt[v.Host].eff
 	if rate <= 0 {
+		cancel()
 		return
 	}
 	eta := s.eng.Now() + v.Remaining()/rate
+	if old != nil && old.Pending() && old.Time() == eta {
+		return // allocation unchanged: the scheduled completion is still exact
+	}
+	cancel()
 	vv := v
 	s.completionTimer[v.ID] = s.eng.Schedule(eta, func() { s.onCompletion(vv) })
 }
@@ -382,7 +613,7 @@ func (s *Simulation) onCompletion(v *vm.VM) {
 	s.recomputeNode(rt)
 	s.round()
 
-	if s.completed == len(s.vms) {
+	if s.sealed && s.completed == len(s.vms) {
 		s.done = true
 		s.eng.Stop()
 	}

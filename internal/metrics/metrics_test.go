@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -149,5 +150,52 @@ func TestReportString(t *testing.T) {
 	}
 	if TableHeader() == "" {
 		t.Error("empty table header")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProm(&buf, []PromSample{
+		{Name: "es_power_watts", Help: "instantaneous draw", Kind: PromGauge, Value: 1234.5},
+		{Name: "es_jobs", Help: "jobs by state", Kind: PromGauge,
+			Labels: map[string]string{"state": "running"}, Value: 3},
+		{Name: "es_jobs", Labels: map[string]string{"state": "queued"}, Value: 0},
+		{Name: "es_migrations_total", Help: "completed migrations", Kind: PromCounter, Value: 96},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP es_power_watts instantaneous draw
+# TYPE es_power_watts gauge
+es_power_watts 1234.5
+# HELP es_jobs jobs by state
+# TYPE es_jobs gauge
+es_jobs{state="running"} 3
+es_jobs{state="queued"} 0
+# HELP es_migrations_total completed migrations
+# TYPE es_migrations_total counter
+es_migrations_total 96
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prom output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePromEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProm(&buf, []PromSample{
+		{Name: "es_x", Help: "line1\nline2 \\ tail",
+			Labels: map[string]string{"b": `q"v`, "a": "n\nl"}, Value: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP es_x line1\\nline2 \\\\ tail\n# TYPE es_x gauge\n" +
+		`es_x{a="n\nl",b="q\"v"} 1` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("prom output:\n%q\nwant:\n%q", got, want)
+	}
+	if err := WriteProm(&buf, []PromSample{{}}); err == nil {
+		t.Error("empty metric name accepted")
 	}
 }

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition for the measurement instruments:
+// the energyschedd daemon publishes the simulation's gauges and
+// counters on GET /metrics through WriteProm. The writer is
+// dependency-free (the repo bakes in no Prometheus client library)
+// and emits the stable subset of the exposition format every scraper
+// understands: # HELP, # TYPE, and name{labels} value lines.
+
+// PromKind is a Prometheus metric type.
+type PromKind string
+
+// Prometheus metric types.
+const (
+	PromGauge   PromKind = "gauge"
+	PromCounter PromKind = "counter"
+)
+
+// PromSample is one exposed time series: a metric name, its metadata,
+// optional labels, and the current value.
+type PromSample struct {
+	// Name is the metric name (e.g. "energysched_power_watts").
+	Name string
+	// Help is the one-line metric description.
+	Help string
+	// Kind is the metric type (gauge when empty).
+	Kind PromKind
+	// Labels attaches label pairs; keys are emitted sorted.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// WriteProm renders samples in the Prometheus text exposition format.
+// Samples sharing a name must be adjacent; the # HELP / # TYPE header
+// is emitted once per name, taken from the first sample of the run.
+func WriteProm(w io.Writer, samples []PromSample) error {
+	var prev string
+	for _, s := range samples {
+		if s.Name == "" {
+			return fmt.Errorf("metrics: prom sample with empty name")
+		}
+		if s.Name != prev {
+			kind := s.Kind
+			if kind == "" {
+				kind = PromGauge
+			}
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapePromHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, kind); err != nil {
+				return err
+			}
+			prev = s.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels),
+			strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapePromLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapePromLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapePromHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -37,6 +37,20 @@ func (m *Meter) Close(t float64) {
 	m.Observe(t, m.lastWatts)
 }
 
+// JoulesAt returns the energy accumulated through time t — the
+// current integral extended at the present draw — without mutating
+// the meter. JoulesAt(t) equals what Joules() would return after
+// Close(t), bit for bit (same additions in the same order).
+func (m *Meter) JoulesAt(t float64) float64 {
+	if !m.started || t <= m.lastTime {
+		return m.joules
+	}
+	return m.joules + m.lastWatts*(t-m.lastTime)
+}
+
+// KWhAt is JoulesAt in kWh.
+func (m *Meter) KWhAt(t float64) float64 { return m.JoulesAt(t) / 3.6e6 }
+
 // Joules returns the accumulated energy in joules (watt-seconds).
 func (m *Meter) Joules() float64 { return m.joules }
 

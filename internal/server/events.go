@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+
+	"energysched/internal/datacenter"
+)
+
+// broker fans simulation events out to SSE subscribers. The event
+// loop (the only publisher) marshals each event once; subscribers get
+// a bounded buffered channel and a ring-buffer backlog for reconnects
+// (Last-Event-ID / ?since=seq). A subscriber that falls further behind
+// than its buffer is disconnected rather than allowed to stall the
+// daemon — the standard slow-consumer contract of event streams.
+type broker struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	ring    []streamEvent // circular; oldest entry at head once full
+	head    int
+	ringCap int
+	subs    map[*subscriber]struct{}
+}
+
+// streamEvent is one published event: its sequence number and the
+// pre-marshaled JSON payload.
+type streamEvent struct {
+	seq  uint64
+	kind datacenter.EventKind
+	data []byte
+}
+
+type subscriber struct {
+	ch chan streamEvent
+}
+
+// subBuffer is each subscriber's channel depth: how far it may lag the
+// publisher before being disconnected.
+const subBuffer = 256
+
+func newBroker(ringCap int) *broker {
+	if ringCap <= 0 {
+		ringCap = 4096
+	}
+	return &broker{ringCap: ringCap, subs: make(map[*subscriber]struct{})}
+}
+
+// publish assigns the next sequence number, stores the event in the
+// replay ring and forwards it to every live subscriber.
+func (b *broker) publish(e datacenter.Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return // Event is a plain struct; cannot happen
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextSeq++
+	ev := streamEvent{seq: b.nextSeq, kind: e.Kind, data: data}
+	if len(b.ring) < b.ringCap {
+		b.ring = append(b.ring, ev)
+	} else {
+		b.ring[b.head] = ev
+		b.head = (b.head + 1) % b.ringCap
+	}
+	for sub := range b.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			// Slow consumer: cut it loose so the stream never
+			// backpressures the event loop.
+			delete(b.subs, sub)
+			close(sub.ch)
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns it along with the
+// backlog of ring events with sequence number > since, oldest first.
+func (b *broker) subscribe(since uint64) (*subscriber, []streamEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var backlog []streamEvent
+	for i := 0; i < len(b.ring); i++ {
+		ev := b.ring[(b.head+i)%len(b.ring)] // oldest first
+		if ev.seq > since {
+			backlog = append(backlog, ev)
+		}
+	}
+	sub := &subscriber{ch: make(chan streamEvent, subBuffer)}
+	b.subs[sub] = struct{}{}
+	return sub, backlog
+}
+
+// unsubscribe removes the subscriber; safe to call after a
+// slow-consumer disconnect.
+func (b *broker) unsubscribe(sub *subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[sub]; ok {
+		delete(b.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// seq returns the sequence number of the most recently published
+// event.
+func (b *broker) seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextSeq
+}
+
+// reset clears the replay ring while keeping the sequence counter
+// monotonic. Called on restore: the pre-restore timeline no longer
+// describes the daemon's state, so reconnecting clients must not be
+// served a splice of old and new history.
+func (b *broker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ring = b.ring[:0]
+	b.head = 0
+}

@@ -1,0 +1,749 @@
+// Package server hosts the datacenter engine as a long-running
+// service: the energyschedd daemon. It wraps datacenter.Simulation in
+// a single-threaded event loop (the engine is deterministic and
+// single-threaded by design; concurrency stops at the loop's command
+// channel, the actor pattern of consul-style agents) and exposes an
+// HTTP/JSON API for online job admission, fleet observation, event
+// streaming, paper-metric reports, Prometheus metrics, and
+// snapshot/restore.
+//
+// Two pacing modes drive virtual time:
+//
+//   - max (Config.Pace <= 0): virtual time is gated by the admission
+//     watermark — the largest submit time admitted so far. The engine
+//     only fires events strictly before the watermark, which makes
+//     online admission byte-identical to an offline energysched.Run
+//     over the same jobs (see docs/ARCHITECTURE.md, "Service mode").
+//   - real time (Config.Pace > 0): virtual time tracks wall time at
+//     the given acceleration; jobs submitted without an explicit
+//     submit time arrive "now".
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"energysched"
+	"energysched/internal/core"
+	"energysched/internal/datacenter"
+	"energysched/internal/metrics"
+	"energysched/internal/workload"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Policy selects the scheduler (same names as energysched.Run;
+	// default "SB").
+	Policy string
+	// Seed drives all stochastic components (default 1).
+	Seed int64
+	// LambdaMin, LambdaMax are the power-manager thresholds in percent
+	// (defaults 30, 90).
+	LambdaMin, LambdaMax float64
+	// Score overrides the consolidation costs (nil = paper values).
+	Score *energysched.ScoreParams
+	// Failures enables reliability-driven node crashes.
+	Failures bool
+	// CheckpointSeconds > 0 checkpoints running VMs periodically.
+	CheckpointSeconds float64
+	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
+	AdaptiveTarget float64
+	// Classes overrides the fleet (nil = the paper's 100 nodes).
+	Classes []energysched.NodeClass
+	// Pace is the virtual-seconds-per-wall-second acceleration; <= 0
+	// selects max pacing (watermark-gated, fully deterministic).
+	Pace float64
+	// SnapshotDir receives unnamed snapshots (default ".").
+	SnapshotDir string
+	// EventRing is the replay-ring depth for /v1/events reconnects
+	// (default 4096).
+	EventRing int
+	// Logf, when non-nil, receives daemon log lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "SB"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.LambdaMin == 0 && c.LambdaMax == 0 {
+		c.LambdaMin, c.LambdaMax = 30, 90
+	}
+	if c.SnapshotDir == "" {
+		c.SnapshotDir = "."
+	}
+	return c
+}
+
+// Server is one running daemon instance.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	broker *broker
+
+	cmds     chan func()
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// --- event-loop state: touch only from inside do()/loop() ---
+	sim       *datacenter.Simulation
+	jobs      []workload.Job // admission log, in VM-ID order
+	watermark float64        // largest admitted submit time (max pacing)
+	final     *energysched.ServiceReport
+	replaying bool
+	wallStart time.Time
+	virtStart float64
+}
+
+var errClosed = errors.New("server: daemon is shut down")
+
+// New builds a daemon, starts its event loop, and returns it. Callers
+// mount Handler on an http.Server and Close the daemon on shutdown.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:    cfg.withDefaults(),
+		mux:    http.NewServeMux(),
+		cmds:   make(chan func()),
+		stopc:  make(chan struct{}),
+		broker: newBroker(cfg.EventRing),
+	}
+	if err := s.rebuild(nil, 0, false); err != nil {
+		return nil, err
+	}
+	s.routes()
+	s.wallStart = time.Now()
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the event loop. In-flight requests receive errClosed.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.wg.Wait()
+}
+
+// RestoreFile loads a snapshot at startup (the -restore flag).
+func (s *Server) RestoreFile(path string) (energysched.SnapshotInfo, error) {
+	var info energysched.SnapshotInfo
+	var rerr error
+	err := s.do(func() { info, rerr = s.restore(path) })
+	if err != nil {
+		return info, err
+	}
+	return info, rerr
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- event loop ---
+
+// do runs fn on the event loop and waits for it; every access to the
+// simulation goes through here, which is what makes the HTTP surface
+// safe under -race with concurrent submitters.
+func (s *Server) do(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case s.cmds <- func() { defer close(done); fn() }:
+	case <-s.stopc:
+		return errClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.stopc:
+		return errClosed
+	}
+}
+
+// paceTick is the wall-clock granularity of real-time pacing.
+const paceTick = 100 * time.Millisecond
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if s.cfg.Pace > 0 {
+		ticker = time.NewTicker(paceTick)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case fn := <-s.cmds:
+			fn()
+		case <-tick:
+			s.advanceRealtime()
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// advanceRealtime moves virtual time to the wall-derived target.
+func (s *Server) advanceRealtime() {
+	if s.sim.Done() {
+		return
+	}
+	target := s.virtStart + time.Since(s.wallStart).Seconds()*s.cfg.Pace
+	if target > s.watermark {
+		s.watermark = target
+	}
+	s.sim.StepBefore(s.watermark)
+}
+
+// rebuild replaces the simulation with a fresh one replaying the
+// given admission log up to virtual time now. With sealed, the replay
+// is drained to completion. On error the previous state is kept.
+func (s *Server) rebuild(jobs []workload.Job, now float64, sealed bool) error {
+	opts := energysched.Options{
+		Policy:            s.cfg.Policy,
+		LambdaMin:         s.cfg.LambdaMin,
+		LambdaMax:         s.cfg.LambdaMax,
+		Seed:              s.cfg.Seed,
+		Score:             s.cfg.Score,
+		Failures:          s.cfg.Failures,
+		CheckpointSeconds: s.cfg.CheckpointSeconds,
+		AdaptiveTarget:    s.cfg.AdaptiveTarget,
+		Classes:           s.cfg.Classes,
+		EventLog: func(e energysched.Event) {
+			if !s.replaying {
+				s.broker.publish(e)
+			}
+		},
+	}
+	sim, err := energysched.NewSimulation(opts)
+	if err != nil {
+		return err
+	}
+	s.replaying = true
+	defer func() { s.replaying = false }()
+	sim.Start()
+	for _, j := range jobs {
+		if _, err := sim.Inject(j); err != nil {
+			return fmt.Errorf("server: replaying job %d: %w", j.ID, err)
+		}
+	}
+	sim.StepBefore(now)
+	s.sim = sim
+	s.jobs = append([]workload.Job(nil), jobs...)
+	s.watermark = now
+	s.final = nil
+	s.wallStart = time.Now()
+	s.virtStart = now
+	if sealed {
+		rep := serviceReport(sim.Drain(), true)
+		s.final = &rep
+	}
+	return nil
+}
+
+// --- actor-side operations ---
+
+func (s *Server) submit(spec energysched.JobSpec) (energysched.JobStatus, error) {
+	if s.sim.Sealed() {
+		return energysched.JobStatus{}, &httpError{http.StatusConflict, "workload is sealed (drained); submit rejected"}
+	}
+	j := workload.Job{
+		ID:             len(s.jobs),
+		Name:           spec.Name,
+		Duration:       spec.Duration,
+		CPU:            spec.CPU,
+		Mem:            spec.Mem,
+		DeadlineFactor: spec.DeadlineFactor,
+		FaultTolerance: spec.FaultTolerance,
+		Arch:           spec.Arch,
+		Hypervisor:     spec.Hypervisor,
+	}
+	if j.DeadlineFactor == 0 {
+		j.DeadlineFactor = 1.5
+	}
+	if spec.Submit != nil {
+		j.Submit = *spec.Submit
+	} else {
+		j.Submit = s.sim.Now()
+	}
+	if j.Submit < s.sim.Now() {
+		return energysched.JobStatus{}, &httpError{http.StatusConflict,
+			fmt.Sprintf("submit_s %.3f is in the virtual past (now %.3f)", j.Submit, s.sim.Now())}
+	}
+	if err := j.Validate(); err != nil {
+		return energysched.JobStatus{}, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	v, err := s.sim.Inject(j)
+	if err != nil {
+		return energysched.JobStatus{}, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	s.jobs = append(s.jobs, j)
+	if s.cfg.Pace <= 0 {
+		// Max pacing: virtual time chases the admission watermark.
+		if j.Submit > s.watermark {
+			s.watermark = j.Submit
+		}
+		s.sim.StepBefore(s.watermark)
+	}
+	return jobStatus(v), nil
+}
+
+func (s *Server) clusterStatus() energysched.ClusterStatus {
+	cl := s.sim.Cluster()
+	working, online := cl.Counts()
+	st := energysched.ClusterStatus{
+		Now:          s.sim.Now(),
+		Sealed:       s.sim.Sealed(),
+		Done:         s.sim.Done(),
+		NodesOn:      online,
+		NodesWorking: working,
+		TotalWatts:   s.sim.WattsNow(),
+		Nodes:        make([]energysched.NodeStatus, 0, len(cl.Nodes)),
+	}
+	for _, v := range s.sim.AppendQueue(nil) {
+		st.Queue = append(st.Queue, v.ID)
+	}
+	for _, n := range cl.Nodes {
+		st.Nodes = append(st.Nodes, nodeStatus(n, s.sim.NodeWatts(n.ID)))
+	}
+	return st
+}
+
+func (s *Server) report() energysched.ServiceReport {
+	if s.final != nil {
+		return *s.final
+	}
+	return serviceReport(s.sim.ReportAt(s.sim.Now()), false)
+}
+
+func (s *Server) drain() energysched.ServiceReport {
+	if s.final == nil {
+		rep := serviceReport(s.sim.Drain(), true)
+		s.final = &rep
+		s.watermark = s.sim.Now()
+		s.logf("drained: %s", rep.Table)
+	}
+	return *s.final
+}
+
+// resolveSnapshotPath confines API-supplied snapshot paths to the
+// configured snapshot directory: the request names a file, never a
+// location. The HTTP surface is unauthenticated, so honoring client
+// paths verbatim would let any network peer overwrite or probe
+// arbitrary files as the daemon user. (The operator's -restore flag
+// goes through RestoreFile and is not confined.)
+func (s *Server) resolveSnapshotPath(path string) (string, error) {
+	if path == "" {
+		return filepath.Join(s.cfg.SnapshotDir, fmt.Sprintf("energyschedd-%d.snapshot.json", len(s.jobs))), nil
+	}
+	name := filepath.Base(filepath.Clean(path))
+	if name == "." || name == ".." || name == string(filepath.Separator) {
+		return "", &httpError{http.StatusBadRequest, fmt.Sprintf("bad snapshot name %q", path)}
+	}
+	return filepath.Join(s.cfg.SnapshotDir, name), nil
+}
+
+func (s *Server) snapshot(path string) (energysched.SnapshotInfo, error) {
+	path, err := s.resolveSnapshotPath(path)
+	if err != nil {
+		return energysched.SnapshotInfo{}, err
+	}
+	snap := s.snapshotState()
+	if err := writeSnapshot(path, snap); err != nil {
+		return energysched.SnapshotInfo{}, &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	s.logf("snapshot: %d jobs at t=%.1fs -> %s", len(snap.Jobs), snap.SavedVirtual, path)
+	return energysched.SnapshotInfo{
+		Path: path, Jobs: len(snap.Jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
+	}, nil
+}
+
+func (s *Server) restore(path string) (energysched.SnapshotInfo, error) {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return energysched.SnapshotInfo{}, &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	// The snapshot's scheduling configuration wins: determinism of the
+	// replay depends on it. Keep the old config at hand so a failed
+	// replay leaves config and simulation consistent.
+	oldCfg := s.cfg
+	s.cfg.Policy = snap.Config.Policy
+	s.cfg.Seed = snap.Config.Seed
+	s.cfg.LambdaMin = snap.Config.LambdaMin
+	s.cfg.LambdaMax = snap.Config.LambdaMax
+	s.cfg.Failures = snap.Config.Failures
+	s.cfg.CheckpointSeconds = snap.Config.CheckpointSeconds
+	s.cfg.AdaptiveTarget = snap.Config.AdaptiveTarget
+	s.cfg.Classes = snap.Config.Classes
+	s.cfg.Score = nil
+	if snap.Config.HasScore {
+		s.cfg.Score = &energysched.ScoreParams{
+			Cempty: snap.Config.Cempty, Cfill: snap.Config.Cfill, THempty: snap.Config.THempty,
+		}
+	}
+	jobs := make([]workload.Job, 0, len(snap.Jobs))
+	for _, sj := range snap.Jobs {
+		jobs = append(jobs, sj.job())
+	}
+	if err := s.rebuild(jobs, snap.SavedVirtual, snap.Sealed); err != nil {
+		s.cfg = oldCfg
+		return energysched.SnapshotInfo{}, &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	// The pre-restore timeline no longer describes this daemon: clear
+	// the replay ring (sequence numbers stay monotonic) and mark the
+	// discontinuity for connected stream consumers.
+	s.broker.reset()
+	s.broker.publish(energysched.Event{
+		Time: snap.SavedVirtual, Kind: "restore", VM: -1, Node: -1, Aux: -1,
+	})
+	s.logf("restored %d jobs at t=%.1fs from %s", len(jobs), snap.SavedVirtual, path)
+	return energysched.SnapshotInfo{
+		Path: path, Jobs: len(jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
+	}, nil
+}
+
+func (s *Server) gatherMetrics() []metrics.PromSample {
+	rep := s.sim.ReportAt(s.sim.Now())
+	cl := s.sim.Cluster()
+	working, online := cl.Counts()
+	stateCount := map[string]int{"off": 0, "booting": 0, "on": 0, "down": 0}
+	for _, n := range cl.Nodes {
+		stateCount[n.State.String()]++
+	}
+	jobCount := map[string]int{}
+	for _, v := range s.sim.VMs() {
+		jobCount[v.State.String()]++
+	}
+	samples := []metrics.PromSample{
+		{Name: "energysched_virtual_time_seconds", Help: "Current virtual time of the simulation.", Kind: metrics.PromGauge, Value: s.sim.Now()},
+		{Name: "energysched_queue_length", Help: "VMs waiting in the scheduler's virtual host.", Kind: metrics.PromGauge, Value: float64(s.sim.QueueLen())},
+		{Name: "energysched_power_watts", Help: "Instantaneous datacenter power draw.", Kind: metrics.PromGauge, Value: s.sim.WattsNow()},
+		{Name: "energysched_energy_kwh_total", Help: "Energy consumed since start of the run.", Kind: metrics.PromCounter, Value: rep.EnergyKWh},
+		{Name: "energysched_cpu_hours_total", Help: "CPU work executed.", Kind: metrics.PromCounter, Value: rep.CPUHours},
+		{Name: "energysched_nodes_working", Help: "Nodes that are on and hosting work.", Kind: metrics.PromGauge, Value: float64(working)},
+		{Name: "energysched_nodes_online", Help: "Nodes powered on.", Kind: metrics.PromGauge, Value: float64(online)},
+	}
+	for _, state := range []string{"off", "booting", "on", "down"} {
+		samples = append(samples, metrics.PromSample{
+			Name: "energysched_nodes", Help: "Nodes by power state.", Kind: metrics.PromGauge,
+			Labels: map[string]string{"state": state}, Value: float64(stateCount[state]),
+		})
+	}
+	for _, state := range []string{"queued", "creating", "running", "migrating", "completed", "failed"} {
+		samples = append(samples, metrics.PromSample{
+			Name: "energysched_jobs", Help: "Admitted jobs by lifecycle state.", Kind: metrics.PromGauge,
+			Labels: map[string]string{"state": state}, Value: float64(jobCount[state]),
+		})
+	}
+	samples = append(samples,
+		metrics.PromSample{Name: "energysched_jobs_admitted_total", Help: "Jobs admitted since start.", Kind: metrics.PromCounter, Value: float64(len(s.jobs))},
+		metrics.PromSample{Name: "energysched_migrations_total", Help: "Completed live migrations.", Kind: metrics.PromCounter, Value: float64(rep.Migrations)},
+		metrics.PromSample{Name: "energysched_failures_total", Help: "Node failures injected.", Kind: metrics.PromCounter, Value: float64(rep.Failures)},
+		metrics.PromSample{Name: "energysched_satisfaction_pct", Help: "Mean client satisfaction of completed jobs.", Kind: metrics.PromGauge, Value: rep.Satisfaction},
+		metrics.PromSample{Name: "energysched_delay_pct", Help: "Mean execution delay of completed jobs.", Kind: metrics.PromGauge, Value: rep.Delay},
+		metrics.PromSample{Name: "energysched_events_published_total", Help: "Simulation events published to the stream.", Kind: metrics.PromCounter, Value: float64(s.broker.seq())},
+	)
+	if sch, ok := s.sim.Policy().(*core.Scheduler); ok {
+		st := sch.Stats
+		solver := []struct {
+			name, help string
+			v          int
+		}{
+			{"energysched_solver_rounds_total", "Scheduling rounds executed.", st.Rounds},
+			{"energysched_solver_moves_total", "Improving moves applied.", st.Moves},
+			{"energysched_solver_score_evals_total", "Score(h,vm) evaluations.", st.ScoreEvals},
+			{"energysched_solver_limit_hits_total", "Rounds stopped by the iteration limit.", st.LimitHits},
+			{"energysched_solver_col_refreshes_total", "Dirty-column recomputations.", st.ColRefreshes},
+			{"energysched_solver_row_rescans_total", "Per-VM best-move rescans.", st.RowRescans},
+			{"energysched_solver_carry_rounds_total", "Rounds starting from a carried matrix.", st.CarryRounds},
+			{"energysched_solver_stale_rows_total", "Candidate rows re-scored on carry.", st.StaleRows},
+			{"energysched_solver_stale_cols_total", "Host columns re-scored on carry.", st.StaleCols},
+			{"energysched_solver_reused_cells_total", "Base-matrix cells carried across rounds.", st.ReusedCells},
+		}
+		for _, m := range solver {
+			samples = append(samples, metrics.PromSample{Name: m.name, Help: m.help, Kind: metrics.PromCounter, Value: float64(m.v)})
+		}
+	}
+	return samples
+}
+
+// --- HTTP surface ---
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	} else if errors.Is(err, errClosed) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, energysched.APIError{Status: status, Message: err.Error()})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec energysched.JobSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, "decoding job spec: " + err.Error()})
+		return
+	}
+	var st energysched.JobStatus
+	var serr error
+	if err := s.do(func() { st, serr = s.submit(spec) }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if serr != nil {
+		writeErr(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var out []energysched.JobStatus
+	if err := s.do(func() {
+		vms := s.sim.VMs()
+		out = make([]energysched.JobStatus, 0, len(vms))
+		for _, v := range vms {
+			out = append(out, jobStatus(v))
+		}
+	}); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, "bad job id"})
+		return
+	}
+	var st energysched.JobStatus
+	found := false
+	if err := s.do(func() {
+		vms := s.sim.VMs()
+		if id >= 0 && id < len(vms) {
+			st = jobStatus(vms[id])
+			found = true
+		}
+	}); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !found {
+		writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("job %d not found", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var st energysched.ClusterStatus
+	if err := s.do(func() { st = s.clusterStatus() }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var rep energysched.ServiceReport
+	if err := s.do(func() { rep = s.report() }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var rep energysched.ServiceReport
+	if err := s.do(func() { rep = s.drain() }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	path, err := decodePath(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var info energysched.SnapshotInfo
+	var serr error
+	if err := s.do(func() { info, serr = s.snapshot(path) }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if serr != nil {
+		writeErr(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	path, err := decodePath(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if path == "" {
+		writeErr(w, &httpError{http.StatusBadRequest, "restore needs a snapshot path"})
+		return
+	}
+	var info energysched.SnapshotInfo
+	var serr error
+	if err := s.do(func() {
+		var p string
+		if p, serr = s.resolveSnapshotPath(path); serr == nil {
+			info, serr = s.restore(p)
+		}
+	}); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if serr != nil {
+		writeErr(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func decodePath(r *http.Request) (string, error) {
+	if r.ContentLength == 0 {
+		return "", nil
+	}
+	var body struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16)).Decode(&body); err != nil {
+		return "", &httpError{http.StatusBadRequest, "decoding body: " + err.Error()}
+	}
+	return body.Path, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var samples []metrics.PromSample
+	if err := s.do(func() { samples = s.gatherMetrics() }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WriteProm(w, samples)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var now float64
+	var done bool
+	if err := s.do(func() { now, done = s.sim.Now(), s.sim.Done() }); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "now_s": now, "done": done})
+}
+
+// heartbeatInterval keeps idle SSE connections alive through proxies.
+const heartbeatInterval = 15 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &httpError{http.StatusInternalServerError, "streaming unsupported"})
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, _ = strconv.ParseUint(v, 10, 64)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		since, _ = strconv.ParseUint(v, 10, 64)
+	}
+	sub, backlog := s.broker.subscribe(since)
+	defer s.broker.unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range backlog {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+
+	heartbeat := time.NewTicker(heartbeatInterval)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return // disconnected as a slow consumer
+			}
+			writeSSE(w, ev)
+			// Drain whatever is already buffered before flushing.
+			for len(sub.ch) > 0 {
+				if ev, ok = <-sub.ch; !ok {
+					return
+				}
+				writeSSE(w, ev)
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev streamEvent) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.seq, ev.kind, ev.data)
+}

@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"energysched"
+	"energysched/internal/workload"
+)
+
+// newTestServer spins up a daemon plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *energysched.Client) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs, energysched.NewClient(hs.URL)
+}
+
+func specFromJob(j workload.Job) energysched.JobSpec {
+	submit := j.Submit
+	return energysched.JobSpec{
+		Name:           j.Name,
+		CPU:            j.CPU,
+		Mem:            j.Mem,
+		Duration:       j.Duration,
+		Submit:         &submit,
+		DeadlineFactor: j.DeadlineFactor,
+		FaultTolerance: j.FaultTolerance,
+		Arch:           j.Arch,
+		Hypervisor:     j.Hypervisor,
+	}
+}
+
+// offlineReport runs the reference offline simulation and renders it
+// through the same conversion the daemon uses.
+func offlineReport(t *testing.T, trace *workload.Trace, policy string, seed int64) energysched.ServiceReport {
+	t.Helper()
+	tr := energysched.Trace{Jobs: trace.Jobs}
+	sim, err := energysched.NewSimulation(energysched.Options{
+		Policy: policy, Seed: seed, Trace: &tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serviceReport(rep, true)
+}
+
+func paperDayTrace() *workload.Trace {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Horizon = 24 * 3600
+	cfg.Seed = 7
+	return workload.MustGenerate(cfg)
+}
+
+// The headline acceptance test: submitting the paper's one-day trace
+// job-by-job through POST /v1/jobs at max pacing yields a GET
+// /v1/report byte-identical to the offline energysched.Run report for
+// the same seed and policy.
+func TestOnlineTraceByteIdenticalToOffline(t *testing.T) {
+	trace := paperDayTrace()
+	_, hs, client := newTestServer(t, Config{Policy: "SB", Seed: 1})
+
+	ctx := context.Background()
+	for i, j := range trace.Jobs {
+		st, err := client.SubmitJob(ctx, specFromJob(j))
+		if err != nil {
+			t.Fatalf("submitting job %d: %v", i, err)
+		}
+		if st.ID != i {
+			t.Fatalf("job %d got id %d", i, st.ID)
+		}
+	}
+
+	// Interim report before the drain: jobs admitted, none final.
+	interim, err := client.Report(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interim.Final || interim.JobsTotal != trace.Len() {
+		t.Fatalf("interim report = %+v", interim)
+	}
+
+	if _, err := client.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := offlineReport(t, trace, "SB", 1)
+	wantBody, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody = append(wantBody, '\n')
+	if !bytes.Equal(body, wantBody) {
+		t.Fatalf("online report body diverged from offline run:\n got %s\nwant %s", body, wantBody)
+	}
+	if want.JobsCompleted != trace.Len() {
+		t.Fatalf("offline reference incomplete: %+v", want)
+	}
+}
+
+// Snapshot mid-trace, restore into a brand-new daemon (simulating a
+// restart), submit the remainder: the final report must equal the
+// uninterrupted offline run.
+func TestSnapshotRestoreMidTraceReproducesReport(t *testing.T) {
+	trace := paperDayTrace()
+	half := trace.Len() / 2
+	// API snapshot paths are file names confined to the daemon's
+	// snapshot directory; share one between both daemons.
+	snapDir := t.TempDir()
+	ctx := context.Background()
+
+	_, _, client1 := newTestServer(t, Config{Policy: "SB", Seed: 1, SnapshotDir: snapDir})
+	for _, j := range trace.Jobs[:half] {
+		if _, err := client1.SubmitJob(ctx, specFromJob(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := client1.Snapshot(ctx, "mid.snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs != half || info.Sealed {
+		t.Fatalf("snapshot info = %+v", info)
+	}
+	if info.Path != filepath.Join(snapDir, "mid.snapshot.json") {
+		t.Fatalf("snapshot escaped its directory: %q", info.Path)
+	}
+
+	// A fresh daemon with a deliberately different default config; the
+	// snapshot's configuration must win on restore. A path traversal in
+	// the request must be confined to the snapshot directory too.
+	_, _, client2 := newTestServer(t, Config{Policy: "BF", Seed: 99, SnapshotDir: snapDir})
+	if _, err := client2.Restore(ctx, "/no/such/dir/../../mid.snapshot.json"); err != nil {
+		t.Fatalf("traversal path should resolve to the confined name: %v", err)
+	}
+	rinfo, err := client2.Restore(ctx, "mid.snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Jobs != half || rinfo.Now != info.Now {
+		t.Fatalf("restore info = %+v, want %+v", rinfo, info)
+	}
+	for _, j := range trace.Jobs[half:] {
+		if _, err := client2.SubmitJob(ctx, specFromJob(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := client2.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := offlineReport(t, trace, "SB", 1)
+	if got != want {
+		t.Fatalf("restored run diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Concurrent submitters and observers hammer the API while rounds are
+// active; run under -race. Admissions race for the watermark, so a
+// submitter may get 409 (its submit time fell into the virtual past);
+// everything accepted must be scheduled and drained.
+func TestConcurrentSubmitHammer(t *testing.T) {
+	_, hs, client := newTestServer(t, Config{Policy: "SB", Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Background SSE consumer.
+	events := make(chan int, 1)
+	go func() {
+		n := 0
+		client.Events(ctx, 0, func(seq uint64, e energysched.Event) error {
+			n++
+			return nil
+		})
+		events <- n
+	}()
+
+	const submitters = 8
+	const perSubmitter = 40
+	var clock atomic.Int64 // virtual submit-time allocator
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				submit := float64(clock.Add(30))
+				spec := energysched.JobSpec{
+					Name:           fmt.Sprintf("g%d-%d", g, i),
+					CPU:            100 + float64((g+i)%3)*100,
+					Mem:            5,
+					Duration:       600,
+					Submit:         &submit,
+					DeadlineFactor: 1.5,
+				}
+				_, err := client.SubmitJob(ctx, spec)
+				var apiErr *energysched.APIError
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict:
+					// Lost the watermark race; acceptable.
+				default:
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Concurrent observers.
+	var owg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, path := range []string{"/v1/cluster", "/v1/report", "/metrics", "/v1/jobs", "/healthz"} {
+		owg.Add(1)
+		go func(path string) {
+			defer owg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(hs.URL + path)
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+
+	wg.Wait()
+	close(stop)
+	owg.Wait()
+
+	rep, err := client.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(rep.JobsTotal) != accepted.Load() {
+		t.Fatalf("report counts %d jobs, accepted %d", rep.JobsTotal, accepted.Load())
+	}
+	if rep.JobsCompleted != rep.JobsTotal {
+		t.Fatalf("drain left jobs unfinished: %+v", rep)
+	}
+	cancel()
+	select {
+	case n := <-events:
+		if n == 0 {
+			t.Error("SSE consumer saw no events")
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("SSE consumer did not terminate")
+	}
+}
+
+func TestSubmitValidationAndSealing(t *testing.T) {
+	_, _, client := newTestServer(t, Config{Policy: "BF", Seed: 1})
+	ctx := context.Background()
+
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 0, Duration: 60}); !isStatus(err, 400) {
+		t.Errorf("zero-cpu job: %v", err)
+	}
+	late := 500.0
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 60, Submit: &late}); err != nil {
+		t.Fatal(err)
+	}
+	past := 100.0
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 60, Submit: &past}); !isStatus(err, 409) {
+		t.Errorf("past-submit job: %v", err)
+	}
+	if _, err := client.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 60}); !isStatus(err, 409) {
+		t.Errorf("post-drain job: %v", err)
+	}
+	if _, err := client.Job(ctx, 999); !isStatus(err, 404) {
+		t.Errorf("missing job: %v", err)
+	}
+	st, err := client.Job(ctx, 0)
+	if err != nil || st.State != "completed" {
+		t.Errorf("job 0 after drain = %+v, %v", st, err)
+	}
+}
+
+func isStatus(err error, status int) bool {
+	var apiErr *energysched.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == status
+}
+
+func TestClusterAndMetricsEndpoints(t *testing.T) {
+	_, hs, client := newTestServer(t, Config{Policy: "SB", Seed: 1})
+	ctx := context.Background()
+	at := 0.0
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 200, Mem: 10, Duration: 1800, Submit: &at}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := client.Cluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Nodes) != 100 {
+		t.Fatalf("paper fleet has 100 nodes, got %d", len(cl.Nodes))
+	}
+	if !cl.Done || !cl.Sealed {
+		t.Fatalf("cluster status after drain = %+v", cl)
+	}
+	if cl.TotalWatts <= 0 {
+		t.Fatal("no power draw reported")
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE energysched_power_watts gauge",
+		"energysched_jobs{state=\"completed\"} 1",
+		"# TYPE energysched_solver_rounds_total counter",
+		"energysched_jobs_admitted_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// Event streaming: the ring replays history to a late subscriber, in
+// order, ending with the submitted job's completion.
+func TestEventStreamReplay(t *testing.T) {
+	_, _, client := newTestServer(t, Config{Policy: "BF", Seed: 1})
+	ctx := context.Background()
+	at := 0.0
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	errStop := errors.New("saw completion")
+	var kinds []string
+	var lastSeq uint64
+	err := client.Events(ctx, 0, func(seq uint64, e energysched.Event) error {
+		if seq <= lastSeq {
+			return fmt.Errorf("sequence went backwards: %d after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+		kinds = append(kinds, string(e.Kind))
+		if e.Kind == "completed" {
+			return errStop
+		}
+		return nil
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("stream ended without completion event: %v (saw %v)", err, kinds)
+	}
+	if kinds[0] != "arrival" {
+		t.Fatalf("replay did not start with the arrival: %v", kinds)
+	}
+}
+
+// Real-time pacing: with a huge acceleration, a submitted job finishes
+// without any drain call, purely because wall time passes.
+func TestRealtimePacing(t *testing.T) {
+	_, _, client := newTestServer(t, Config{Policy: "BF", Seed: 1, Pace: 100000})
+	ctx := context.Background()
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 300}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := client.Job(ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "completed" {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("job did not complete under real-time pacing")
+}
+
+// Regression: a job admitted with a submit time beyond the 400-day
+// safety horizon must not rewind the virtual clock on drain (which
+// used to panic the daemon's progress accounting).
+func TestDrainBeyondSafetyHorizon(t *testing.T) {
+	_, _, client := newTestServer(t, Config{Policy: "BF", Seed: 1})
+	ctx := context.Background()
+	far := 500.0 * 24 * 3600 // past the 400-day net
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &far}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCompleted != 1 || rep.SimEnd < far {
+		t.Fatalf("far-future drain report = %+v", rep)
+	}
+}

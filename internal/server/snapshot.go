@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"energysched"
+	"energysched/internal/workload"
+)
+
+// Snapshots are event-sourced: because the simulation is fully
+// deterministic given its configuration and the admitted-job log, a
+// checkpoint needs only those inputs plus the virtual-time watermark
+// — not the event queue, meters or RNG internals. Restore rebuilds a
+// fresh simulation and replays the log up to the watermark, landing
+// bit-for-bit on the saved state (the same argument that makes online
+// admission byte-identical to offline replay; see
+// docs/ARCHITECTURE.md, "Service mode"). The price is restore time
+// linear in simulated history; the payoff is a snapshot format that
+// cannot desynchronize from engine internals across versions.
+
+// snapshotFormat identifies the snapshot file layout.
+const snapshotFormat = "energyschedd-snapshot/v1"
+
+type snapshotFile struct {
+	Format       string         `json:"format"`
+	SavedVirtual float64        `json:"saved_virtual_s"`
+	Sealed       bool           `json:"sealed"`
+	Config       snapshotConfig `json:"config"`
+	Jobs         []snapJob      `json:"jobs"`
+}
+
+type snapshotConfig struct {
+	Policy            string                  `json:"policy"`
+	Seed              int64                   `json:"seed"`
+	LambdaMin         float64                 `json:"lambda_min"`
+	LambdaMax         float64                 `json:"lambda_max"`
+	Cempty            float64                 `json:"cempty,omitempty"`
+	Cfill             float64                 `json:"cfill,omitempty"`
+	THempty           int                     `json:"th_empty,omitempty"`
+	HasScore          bool                    `json:"has_score,omitempty"`
+	Failures          bool                    `json:"failures,omitempty"`
+	CheckpointSeconds float64                 `json:"checkpoint_s,omitempty"`
+	AdaptiveTarget    float64                 `json:"adaptive_target,omitempty"`
+	Classes           []energysched.NodeClass `json:"classes,omitempty"`
+}
+
+// snapJob mirrors workload.Job with wire tags.
+type snapJob struct {
+	ID             int     `json:"id"`
+	Name           string  `json:"name,omitempty"`
+	Submit         float64 `json:"submit_s"`
+	Duration       float64 `json:"duration_s"`
+	CPU            float64 `json:"cpu_pct"`
+	Mem            float64 `json:"mem_units"`
+	DeadlineFactor float64 `json:"deadline_factor"`
+	FaultTolerance float64 `json:"fault_tolerance,omitempty"`
+	Arch           string  `json:"arch,omitempty"`
+	Hypervisor     string  `json:"hypervisor,omitempty"`
+}
+
+func toSnapJob(j workload.Job) snapJob {
+	return snapJob{
+		ID: j.ID, Name: j.Name, Submit: j.Submit, Duration: j.Duration,
+		CPU: j.CPU, Mem: j.Mem, DeadlineFactor: j.DeadlineFactor,
+		FaultTolerance: j.FaultTolerance, Arch: j.Arch, Hypervisor: j.Hypervisor,
+	}
+}
+
+func (sj snapJob) job() workload.Job {
+	return workload.Job{
+		ID: sj.ID, Name: sj.Name, Submit: sj.Submit, Duration: sj.Duration,
+		CPU: sj.CPU, Mem: sj.Mem, DeadlineFactor: sj.DeadlineFactor,
+		FaultTolerance: sj.FaultTolerance, Arch: sj.Arch, Hypervisor: sj.Hypervisor,
+	}
+}
+
+// snapshotState assembles the snapshot of the current actor state.
+// Call only from the event loop.
+func (s *Server) snapshotState() snapshotFile {
+	snap := snapshotFile{
+		Format:       snapshotFormat,
+		SavedVirtual: s.sim.Now(),
+		Sealed:       s.sim.Sealed(),
+		Config:       s.snapshotConfig(),
+		Jobs:         make([]snapJob, 0, len(s.jobs)),
+	}
+	for _, j := range s.jobs {
+		snap.Jobs = append(snap.Jobs, toSnapJob(j))
+	}
+	return snap
+}
+
+func (s *Server) snapshotConfig() snapshotConfig {
+	sc := snapshotConfig{
+		Policy:            s.cfg.Policy,
+		Seed:              s.cfg.Seed,
+		LambdaMin:         s.cfg.LambdaMin,
+		LambdaMax:         s.cfg.LambdaMax,
+		Failures:          s.cfg.Failures,
+		CheckpointSeconds: s.cfg.CheckpointSeconds,
+		AdaptiveTarget:    s.cfg.AdaptiveTarget,
+		Classes:           s.cfg.Classes,
+	}
+	if s.cfg.Score != nil {
+		sc.HasScore = true
+		sc.Cempty = s.cfg.Score.Cempty
+		sc.Cfill = s.cfg.Score.Cfill
+		sc.THempty = s.cfg.Score.THempty
+	}
+	return sc
+}
+
+// writeSnapshot persists the snapshot atomically (temp file + rename).
+func writeSnapshot(path string, snap snapshotFile) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.json")
+	if err != nil {
+		return fmt.Errorf("server: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads and validates a snapshot file.
+func readSnapshot(path string) (snapshotFile, error) {
+	var snap snapshotFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, fmt.Errorf("server: reading snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("server: decoding snapshot %s: %w", path, err)
+	}
+	if snap.Format != snapshotFormat {
+		return snap, fmt.Errorf("server: %s: unsupported snapshot format %q", path, snap.Format)
+	}
+	return snap, nil
+}

@@ -31,6 +31,11 @@ type Timer struct {
 	// handle was returned, so nobody can cancel it or observe it after
 	// it fires, and the engine recycles it through the free list.
 	anon bool
+	// front marks an injection-priority timer (scheduled via AtFront):
+	// at equal virtual times it fires before every normal timer,
+	// regardless of scheduling order. Front timers order among
+	// themselves by sequence, so FIFO injection order is preserved.
+	front bool
 }
 
 // Time returns the virtual time at which the timer is scheduled.
@@ -56,6 +61,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].front != h[j].front {
+		return h[i].front
 	}
 	return h[i].seq < h[j].seq
 }
@@ -111,7 +119,7 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Schedule queues fn to run at absolute virtual time at. Scheduling in
 // the past (at < Now) panics: it is always a model bug.
 func (e *Engine) Schedule(at float64, fn Handler) *Timer {
-	return e.newTimer(at, fn, false)
+	return e.newTimer(at, fn, false, false)
 }
 
 // ScheduleAfter queues fn to run delay seconds after Now. Negative
@@ -126,7 +134,7 @@ func (e *Engine) ScheduleAfter(delay float64, fn Handler) *Timer {
 // overwhelmingly common fire-and-forget case. Ordering relative to
 // Schedule is unchanged (one shared sequence counter).
 func (e *Engine) At(at float64, fn Handler) {
-	e.newTimer(at, fn, true)
+	e.newTimer(at, fn, true, false)
 }
 
 // After queues fn delay seconds after Now without returning a handle;
@@ -135,7 +143,19 @@ func (e *Engine) After(delay float64, fn Handler) {
 	e.At(e.now+delay, fn)
 }
 
-func (e *Engine) newTimer(at float64, fn Handler, anon bool) *Timer {
+// AtFront queues fn at absolute virtual time at with injection
+// priority: at equal times it fires before every timer scheduled with
+// Schedule/At, no matter when either was queued; multiple front timers
+// preserve their scheduling (FIFO) order. The datacenter harness uses
+// it for workload arrivals so that a job injected online at time t is
+// processed exactly as if its arrival had been scheduled before the
+// run started — the property that makes live submission byte-identical
+// to offline trace replay. Like At, no handle is returned.
+func (e *Engine) AtFront(at float64, fn Handler) {
+	e.newTimer(at, fn, true, true)
+}
+
+func (e *Engine) newTimer(at float64, fn Handler, anon, front bool) *Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("simkit: scheduling event at %.6f before now %.6f", at, e.now))
 	}
@@ -154,7 +174,7 @@ func (e *Engine) newTimer(at float64, fn Handler, anon bool) *Timer {
 		t = &e.slab[0]
 		e.slab = e.slab[1:]
 	}
-	*t = Timer{at: at, seq: e.seq, fn: fn, anon: anon}
+	*t = Timer{at: at, seq: e.seq, fn: fn, anon: anon, front: front}
 	heap.Push(&e.events, t)
 	return t
 }
@@ -175,27 +195,67 @@ func (e *Engine) Run(until float64) float64 {
 			continue
 		}
 		if t.at > until {
-			// Do not fire; advance clock to the horizon.
-			e.now = until
+			// Do not fire; advance clock to the horizon. The clock
+			// never moves backwards, even for a stale horizon.
+			if until > e.now {
+				e.now = until
+			}
 			return e.now
 		}
-		heap.Pop(&e.events)
-		e.now = t.at
-		t.fired = true
-		e.processed++
-		fn := t.fn
-		if t.anon {
-			// No handle exists, so nothing can observe this timer
-			// after it fires: recycle it.
-			t.fn = nil
-			e.free = append(e.free, t)
-		}
-		fn()
+		e.fireHead(t)
 	}
 	if e.now < until && len(e.events) == 0 && !math.IsInf(until, 1) {
 		e.now = until
 	}
 	return e.now
+}
+
+// RunBefore executes events in order while they are scheduled strictly
+// before t, then advances the clock to t (unless Stop was called, in
+// which case the clock stays at the stop point). Events scheduled
+// exactly at t remain queued and fire first on a later Run/RunBefore
+// past t. This is the advancement primitive for online (live-injected)
+// simulations: holding the clock strictly below the admission
+// watermark guarantees that every arrival at time t is queued before
+// any event at t executes, which keeps live submission byte-identical
+// to offline replay.
+func (e *Engine) RunBefore(t float64) float64 {
+	if math.IsNaN(t) {
+		panic("simkit: RunBefore at NaN time")
+	}
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		head := e.events[0]
+		if head.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if head.at >= t {
+			break
+		}
+		e.fireHead(head)
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+// fireHead pops and executes the head timer t (which the caller has
+// already inspected and decided to fire).
+func (e *Engine) fireHead(t *Timer) {
+	heap.Pop(&e.events)
+	e.now = t.at
+	t.fired = true
+	e.processed++
+	fn := t.fn
+	if t.anon {
+		// No handle exists, so nothing can observe this timer
+		// after it fires: recycle it.
+		t.fn = nil
+		e.free = append(e.free, t)
+	}
+	fn()
 }
 
 // RunAll executes events until the queue drains or Stop is called.

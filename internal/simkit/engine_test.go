@@ -371,3 +371,83 @@ func TestEngineSteadyStateAllocations(t *testing.T) {
 		t.Fatalf("free list = %d, want 1 (single recycled timer)", len(e.free))
 	}
 }
+
+func TestAtFrontBeatsEqualTimeTimers(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	// Normal timers queued first, front timers queued last — the front
+	// ones must still fire first at the shared instant, in FIFO order.
+	e.Schedule(10, func() { got = append(got, "normal-a") })
+	e.At(10, func() { got = append(got, "normal-b") })
+	e.AtFront(10, func() { got = append(got, "front-1") })
+	e.AtFront(10, func() { got = append(got, "front-2") })
+	e.RunAll()
+	want := []string{"front-1", "front-2", "normal-a", "normal-b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtFrontDoesNotReorderAcrossTimes(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	e.Schedule(5, func() { got = append(got, 5) })
+	e.AtFront(7, func() { got = append(got, 7) })
+	e.RunAll()
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("order = %v, want [5 7]", got)
+	}
+}
+
+func TestRunBeforeStopsShortOfBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{10, 20, 30} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	if now := e.RunBefore(20); now != 20 {
+		t.Fatalf("RunBefore(20) = %v, want clock at 20", now)
+	}
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want only the t=10 event", fired)
+	}
+	// Scheduling at exactly the current clock is allowed; a front
+	// timer queued now must still precede the already-queued t=20
+	// event when the boundary is crossed later.
+	e.AtFront(20, func() { fired = append(fired, -20) })
+	e.RunBefore(25)
+	if len(fired) != 3 || fired[1] != -20 || fired[2] != 20 {
+		t.Fatalf("fired = %v, want [10 -20 20]", fired)
+	}
+	e.RunAll()
+	if len(fired) != 4 || fired[3] != 30 {
+		t.Fatalf("fired = %v, want trailing 30", fired)
+	}
+}
+
+func TestRunBeforeEmptyAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	if now := e.RunBefore(42); now != 42 {
+		t.Fatalf("RunBefore on empty queue = %v, want 42", now)
+	}
+	// The clock never moves backwards.
+	if now := e.RunBefore(41); now != 42 {
+		t.Fatalf("RunBefore(41) after 42 = %v, want 42", now)
+	}
+}
+
+func TestRunBeforeRespectsStop(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	e.At(10, func() { fired = append(fired, 10); e.Stop() })
+	e.At(20, func() { fired = append(fired, 20) })
+	if now := e.RunBefore(100); now != 10 {
+		t.Fatalf("stopped RunBefore clock = %v, want 10", now)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want only t=10", fired)
+	}
+}

@@ -58,9 +58,18 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: row %d: %w", i+2, err)
 		}
+		if n := len(tr.Jobs); n > 0 && j.Submit < tr.Jobs[n-1].Submit {
+			// The native format is written submit-ordered (WriteCSV);
+			// disorder means a hand-edited or corrupted trace, and
+			// silently sorting would mask the damage.
+			return nil, fmt.Errorf("workload: row %d: submit %.3f before predecessor %.3f (trace out of order)",
+				i+2, j.Submit, tr.Jobs[n-1].Submit)
+		}
 		tr.Jobs = append(tr.Jobs, j)
 	}
-	tr.Sort()
+	if len(tr.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: csv trace has no jobs")
+	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}

@@ -24,9 +24,13 @@ func ReadGWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
 	opts = opts.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	tr := &Trace{}
+	type rawJob struct {
+		id                 int
+		submit, run, procs float64
+	}
+	var raw []rawJob
 	line := 0
-	var t0 float64
+	var prevSubmit float64
 	first := true
 	for sc.Scan() {
 		line++
@@ -51,17 +55,40 @@ func ReadGWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
 		if run <= 0 || procs <= 0 {
 			continue // cancelled / failed submissions
 		}
-		if first {
-			t0 = submit
-			first = false
+		if !first && submit < prevSubmit && !opts.AllowUnsorted {
+			// Submit-time regressions in a single-cluster archive mean
+			// a corrupted or concatenated file; silently reordering
+			// would fabricate a workload that never happened. Opt in
+			// via AllowUnsorted for genuinely interleaved multi-cluster
+			// traces.
+			return nil, fmt.Errorf("workload: gwf line %d: submit time %.0f before predecessor %.0f (trace out of order; set ConvertOptions.AllowUnsorted to sort)",
+				line, submit, prevSubmit)
 		}
-		j := opts.convert(id, submit-t0, run, procs)
-		tr.Jobs = append(tr.Jobs, j)
+		prevSubmit = submit
+		first = false
+		raw = append(raw, rawJob{id: id, submit: submit, run: run, procs: procs})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("workload: reading gwf: %w", err)
 	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("workload: gwf trace has no usable jobs")
+	}
+	// Rebase to the earliest submission (the first line when sorted).
+	t0 := raw[0].submit
+	for _, r := range raw {
+		if r.submit < t0 {
+			t0 = r.submit
+		}
+	}
+	tr := &Trace{}
+	for _, r := range raw {
+		tr.Jobs = append(tr.Jobs, opts.convert(r.id, r.submit-t0, r.run, r.procs))
+	}
 	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 
@@ -91,6 +118,12 @@ type ConvertOptions struct {
 	// DeadlineMin, DeadlineMax bound the deadline factor assigned
 	// deterministically per job (default 1.2–2.0).
 	DeadlineMin, DeadlineMax float64
+	// AllowUnsorted accepts traces whose submit times regress between
+	// lines and sorts them, instead of rejecting the file. Single-
+	// cluster archive traces are submit-ordered, but multi-cluster
+	// archives (interleaved per-cluster clocks) may not be; set this
+	// when replaying such a file deliberately.
+	AllowUnsorted bool
 }
 
 func (o ConvertOptions) withDefaults() ConvertOptions {

@@ -323,3 +323,80 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Reader hardening: empty traces and out-of-order submission times
+// must error instead of silently producing bad traces.
+func TestReadGWFRejectsEmptyAndDisorder(t *testing.T) {
+	// Comment-only file: no usable jobs.
+	if _, err := ReadGWF(strings.NewReader("# just a header\n; nothing\n"), ConvertOptions{}); err == nil {
+		t.Error("empty gwf trace accepted")
+	}
+	// All jobs cancelled (run <= 0): still no usable jobs.
+	if _, err := ReadGWF(strings.NewReader("1 100 0 -1 2 0 0 2 0 0 0\n"), ConvertOptions{}); err == nil {
+		t.Error("all-cancelled gwf trace accepted")
+	}
+	// Submission times regress between accepted lines.
+	disorder := "1 200 0 100 1 0 0 1 100 0 1\n2 100 0 100 1 0 0 1 100 0 1\n"
+	if _, err := ReadGWF(strings.NewReader(disorder), ConvertOptions{}); err == nil {
+		t.Error("out-of-order gwf trace accepted")
+	}
+	// A cancelled job between ordered lines does not break the check.
+	ok := "1 100 0 100 1 0 0 1 100 0 1\n2 150 0 -1 1 0 0 1 0 0 0\n3 200 0 100 1 0 0 1 100 0 1\n"
+	if _, err := ReadGWF(strings.NewReader(ok), ConvertOptions{}); err != nil {
+		t.Errorf("ordered gwf trace rejected: %v", err)
+	}
+	// SWF shares the reader, and therefore the guards.
+	if _, err := ReadSWF(strings.NewReader(disorder), ConvertOptions{}); err == nil {
+		t.Error("out-of-order swf trace accepted")
+	}
+}
+
+func TestReadCSVRejectsEmptyAndDisorder(t *testing.T) {
+	hdr := "id,name,submit_s,duration_s,cpu_pct,mem_units,deadline_factor,fault_tolerance,arch,hypervisor\n"
+	// Header-only file: no jobs.
+	if _, err := ReadCSV(strings.NewReader(hdr)); err == nil {
+		t.Error("header-only csv trace accepted")
+	}
+	// Wrong column count.
+	if _, err := ReadCSV(strings.NewReader(hdr + "1,j,0,10\n")); err == nil {
+		t.Error("short csv row accepted")
+	}
+	// Out-of-order submits.
+	disorder := hdr +
+		"1,a,500.000,10.000,100.0,5.00,1.5000,0.0000,,\n" +
+		"2,b,100.000,10.000,100.0,5.00,1.5000,0.0000,,\n"
+	if _, err := ReadCSV(strings.NewReader(disorder)); err == nil {
+		t.Error("out-of-order csv trace accepted")
+	}
+	// Ordered trace still round-trips.
+	ordered := hdr +
+		"1,a,100.000,10.000,100.0,5.00,1.5000,0.0000,,\n" +
+		"2,b,500.000,10.000,100.0,5.00,1.5000,0.0000,,\n"
+	tr, err := ReadCSV(strings.NewReader(ordered))
+	if err != nil {
+		t.Fatalf("ordered csv trace rejected: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("jobs = %d, want 2", tr.Len())
+	}
+}
+
+// AllowUnsorted restores the tolerant behavior for genuinely
+// interleaved (multi-cluster) archive traces: disorder is sorted and
+// rebased to the earliest submission instead of rejected.
+func TestReadGWFAllowUnsorted(t *testing.T) {
+	disorder := "1 200 0 100 1 0 0 1 100 0 1\n2 100 0 100 1 0 0 1 100 0 1\n"
+	tr, err := ReadGWF(strings.NewReader(disorder), ConvertOptions{AllowUnsorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("jobs = %d, want 2", tr.Len())
+	}
+	if tr.Jobs[0].Submit != 0 || tr.Jobs[1].Submit != 100 {
+		t.Fatalf("rebased submits = %v, %v; want 0, 100", tr.Jobs[0].Submit, tr.Jobs[1].Submit)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
