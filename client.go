@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 )
@@ -121,6 +122,71 @@ type SnapshotInfo struct {
 	Sealed bool    `json:"sealed"`
 }
 
+// FleetSpec is the body of POST /v1/fleets: a named fleet
+// configuration. Unset fields inherit the daemon's base
+// configuration (its flags).
+type FleetSpec struct {
+	// ID names the fleet; it appears in URLs and in the durable
+	// layout (1-64 chars of [a-zA-Z0-9._-], starting alphanumeric).
+	ID string `json:"id"`
+	// Policy selects the scheduler ("" = daemon default).
+	Policy string `json:"policy,omitempty"`
+	// Seed drives the fleet's stochastic components (0 = default).
+	Seed int64 `json:"seed,omitempty"`
+	// LambdaMin, LambdaMax override the power-manager thresholds when
+	// either is non-zero.
+	LambdaMin float64 `json:"lambda_min,omitempty"`
+	LambdaMax float64 `json:"lambda_max,omitempty"`
+	// Pace overrides the clock pace: nil inherits, <= 0 is max pacing,
+	// > 0 is virtual seconds per wall second.
+	Pace *float64 `json:"pace,omitempty"`
+	// Failures enables reliability-driven node crashes.
+	Failures bool `json:"failures,omitempty"`
+	// CheckpointSeconds > 0 checkpoints running VMs periodically.
+	CheckpointSeconds float64 `json:"checkpoint_s,omitempty"`
+	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
+	AdaptiveTarget float64 `json:"adaptive_target,omitempty"`
+	// SnapshotInterval > 0 overrides how many WAL records accumulate
+	// before the fleet compacts them into a snapshot.
+	SnapshotInterval int `json:"snapshot_interval,omitempty"`
+}
+
+// WALStats describes a fleet's durable admission log (part of
+// FleetInfo; only present when the daemon runs with -wal-dir).
+type WALStats struct {
+	// Records currently in the WAL — what a crash right now would
+	// replay on restart.
+	Records int `json:"records"`
+	// Appended counts records written since the daemon opened the
+	// fleet.
+	Appended int `json:"appended"`
+	// Replayed counts the WAL-tail records applied during crash
+	// recovery when the daemon opened the fleet: the admissions after
+	// the last compaction snapshot.
+	Replayed int `json:"replayed"`
+	// Snapshots counts compaction snapshots written since open.
+	Snapshots int `json:"snapshots"`
+	// TornTail reports that recovery dropped a torn/corrupt final
+	// record (the expected artifact of a crash mid-append).
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// FleetInfo summarizes one hosted fleet (GET /v1/fleets and
+// GET /v1/fleets/{id}).
+type FleetInfo struct {
+	ID     string  `json:"id"`
+	Policy string  `json:"policy"`
+	Seed   int64   `json:"seed"`
+	Pace   float64 `json:"pace"` // <= 0 = max pacing
+	Now    float64 `json:"now_s"`
+	Sealed bool    `json:"sealed"`
+	Done   bool    `json:"done"`
+	Jobs   int     `json:"jobs"`
+	// WAL is the durability layer's state; nil when the daemon runs
+	// without -wal-dir.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
 // APIError is the error body every endpoint returns on failure.
 type APIError struct {
 	Status  int    `json:"status"`
@@ -132,17 +198,44 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("energyschedd: %s (http %d)", e.Message, e.Status)
 }
 
-// Client talks to an energyschedd daemon.
+// Client talks to an energyschedd daemon. The zero prefix addresses
+// the PR 3 alias routes — i.e. the daemon's "default" fleet; Fleet
+// rebinds the same methods to a named fleet.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://localhost:7781".
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when non-nil.
 	HTTPClient *http.Client
+
+	// prefix is the API mount point: "" means "/v1" (the default
+	// fleet), Fleet sets "/v1/fleets/{id}".
+	prefix string
 }
 
 // NewClient returns a client for the daemon at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Fleet returns a client whose job/cluster/report/drain/snapshot/
+// restore/events calls address the named fleet
+// (/v1/fleets/{id}/...). The registry calls (CreateFleet, Fleets,
+// GetFleet, DeleteFleet) are fleet-independent and work on any
+// client.
+func (c *Client) Fleet(id string) *Client {
+	return &Client{
+		BaseURL:    c.BaseURL,
+		HTTPClient: c.HTTPClient,
+		prefix:     "/v1/fleets/" + url.PathEscape(id),
+	}
+}
+
+// apiPath mounts a per-fleet route at the client's prefix.
+func (c *Client) apiPath(p string) string {
+	if c.prefix == "" {
+		return "/v1" + p
+	}
+	return c.prefix + p
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -192,35 +285,74 @@ func (c *Client) call(ctx context.Context, method, path string, in, out interfac
 // including the assigned ID.
 func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
-	err := c.call(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	err := c.call(ctx, http.MethodPost, c.apiPath("/jobs"), spec, &st)
 	return st, err
+}
+
+// SubmitJobs admits a batch atomically, in order, in a single
+// event-loop turn of the fleet (POST /v1/jobs with a JSON array):
+// either every job in the batch is admitted or none is. Submit times
+// within a batch must be non-decreasing. At max pacing, a batch is
+// byte-identical to submitting the same jobs sequentially.
+func (c *Client) SubmitJobs(ctx context.Context, specs []JobSpec) ([]JobStatus, error) {
+	var st []JobStatus
+	err := c.call(ctx, http.MethodPost, c.apiPath("/jobs"), specs, &st)
+	return st, err
+}
+
+// CreateFleet registers and starts a new fleet (POST /v1/fleets).
+func (c *Client) CreateFleet(ctx context.Context, spec FleetSpec) (FleetInfo, error) {
+	var info FleetInfo
+	err := c.call(ctx, http.MethodPost, "/v1/fleets", spec, &info)
+	return info, err
+}
+
+// Fleets lists every hosted fleet (GET /v1/fleets).
+func (c *Client) Fleets(ctx context.Context) ([]FleetInfo, error) {
+	var out []FleetInfo
+	err := c.call(ctx, http.MethodGet, "/v1/fleets", nil, &out)
+	return out, err
+}
+
+// GetFleet fetches one fleet's summary, including its WAL stats
+// (GET /v1/fleets/{id}).
+func (c *Client) GetFleet(ctx context.Context, id string) (FleetInfo, error) {
+	var info FleetInfo
+	err := c.call(ctx, http.MethodGet, "/v1/fleets/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// DeleteFleet stops a fleet and removes it — including its durable
+// state (DELETE /v1/fleets/{id}).
+func (c *Client) DeleteFleet(ctx context.Context, id string) error {
+	return c.call(ctx, http.MethodDelete, "/v1/fleets/"+url.PathEscape(id), nil, nil)
 }
 
 // Job fetches one job's status (GET /v1/jobs/{id}).
 func (c *Client) Job(ctx context.Context, id int) (JobStatus, error) {
 	var st JobStatus
-	err := c.call(ctx, http.MethodGet, "/v1/jobs/"+strconv.Itoa(id), nil, &st)
+	err := c.call(ctx, http.MethodGet, c.apiPath("/jobs/"+strconv.Itoa(id)), nil, &st)
 	return st, err
 }
 
 // Jobs lists every admitted job (GET /v1/jobs).
 func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 	var st []JobStatus
-	err := c.call(ctx, http.MethodGet, "/v1/jobs", nil, &st)
+	err := c.call(ctx, http.MethodGet, c.apiPath("/jobs"), nil, &st)
 	return st, err
 }
 
 // Cluster fetches the fleet status (GET /v1/cluster).
 func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
 	var st ClusterStatus
-	err := c.call(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	err := c.call(ctx, http.MethodGet, c.apiPath("/cluster"), nil, &st)
 	return st, err
 }
 
 // Report fetches the paper metrics accumulated so far (GET /v1/report).
 func (c *Client) Report(ctx context.Context) (ServiceReport, error) {
 	var rep ServiceReport
-	err := c.call(ctx, http.MethodGet, "/v1/report", nil, &rep)
+	err := c.call(ctx, http.MethodGet, c.apiPath("/report"), nil, &rep)
 	return rep, err
 }
 
@@ -228,7 +360,7 @@ func (c *Client) Report(ctx context.Context) (ServiceReport, error) {
 // job completes, and returns the final report (POST /v1/drain).
 func (c *Client) Drain(ctx context.Context) (ServiceReport, error) {
 	var rep ServiceReport
-	err := c.call(ctx, http.MethodPost, "/v1/drain", nil, &rep)
+	err := c.call(ctx, http.MethodPost, c.apiPath("/drain"), nil, &rep)
 	return rep, err
 }
 
@@ -236,7 +368,7 @@ func (c *Client) Drain(ctx context.Context) (ServiceReport, error) {
 // An empty path lets the daemon pick one under its snapshot directory.
 func (c *Client) Snapshot(ctx context.Context, path string) (SnapshotInfo, error) {
 	var info SnapshotInfo
-	err := c.call(ctx, http.MethodPost, "/v1/snapshot", map[string]string{"path": path}, &info)
+	err := c.call(ctx, http.MethodPost, c.apiPath("/snapshot"), map[string]string{"path": path}, &info)
 	return info, err
 }
 
@@ -245,7 +377,7 @@ func (c *Client) Snapshot(ctx context.Context, path string) (SnapshotInfo, error
 // to the snapshot's virtual time.
 func (c *Client) Restore(ctx context.Context, path string) (SnapshotInfo, error) {
 	var info SnapshotInfo
-	err := c.call(ctx, http.MethodPost, "/v1/restore", map[string]string{"path": path}, &info)
+	err := c.call(ctx, http.MethodPost, c.apiPath("/restore"), map[string]string{"path": path}, &info)
 	return info, err
 }
 
@@ -255,7 +387,7 @@ func (c *Client) Restore(ctx context.Context, path string) (SnapshotInfo, error)
 // returned). since > 0 requests replay from that sequence number (the
 // daemon keeps a bounded ring of recent events).
 func (c *Client) Events(ctx context.Context, since uint64, fn func(seq uint64, e Event) error) error {
-	path := "/v1/events"
+	path := c.apiPath("/events")
 	if since > 0 {
 		path += "?since=" + strconv.FormatUint(since, 10)
 	}

@@ -5,15 +5,24 @@
 // over SSE, and the daemon state can be checkpointed to disk and
 // restored after a restart.
 //
+// The daemon hosts many independent fleets per process, each an
+// isolated scheduler instance with its own event loop and clock pace;
+// with -wal-dir every fleet also gets a durable admission log
+// (write-ahead log + interval-compacted snapshots), so a killed
+// daemon restarts into exactly the state it acknowledged.
+//
 //	energyschedd -listen :7781 -pace max
-//	energyschedd -listen :7781 -pace 60 -policy SB -snapshot-dir /var/lib/energyschedd
+//	energyschedd -listen :7781 -fleets default,batch=BF -wal-dir /var/lib/energyschedd -snapshot-interval 256
 //	energyschedd -restore /var/lib/energyschedd/energyschedd-120.snapshot.json
 //
-// API quickstart (see docs/ARCHITECTURE.md, "Service mode"):
+// API quickstart (see docs/ARCHITECTURE.md, "Service mode" and
+// "Multi-fleet & durability"):
 //
 //	curl -s -X POST localhost:7781/v1/jobs -d '{"cpu_pct":200,"mem_units":10,"duration_s":3600}'
+//	curl -s -X POST localhost:7781/v1/jobs -d '[{"cpu_pct":100,"mem_units":5,"duration_s":600},{"cpu_pct":100,"mem_units":5,"duration_s":600}]'
+//	curl -s -X POST localhost:7781/v1/fleets -d '{"id":"batch","policy":"BF"}'
+//	curl -s localhost:7781/v1/fleets/batch/report | jq -r .table
 //	curl -s localhost:7781/v1/cluster | jq .nodes_on
-//	curl -s localhost:7781/v1/report | jq -r .table
 //	curl -s -N localhost:7781/v1/events
 //	curl -s -X POST localhost:7781/v1/snapshot
 package main
@@ -28,11 +37,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"energysched"
 	"energysched/internal/cli"
+	"energysched/internal/fleet"
 	"energysched/internal/server"
 )
 
@@ -53,7 +64,11 @@ func main() {
 		adaptive   = flag.Float64("adaptive", 0, "dynamic-λ satisfaction target in percent (0 = static)")
 		pace       = flag.String("pace", "max", "virtual pacing: 'max' (admission-gated, deterministic) or virtual seconds per wall second (e.g. 1, 60)")
 		snapDir    = flag.String("snapshot-dir", ".", "directory for unnamed snapshots")
-		restore    = flag.String("restore", "", "restore this snapshot before serving")
+		restore    = flag.String("restore", "", "restore this snapshot into the default fleet before serving")
+		fleets     = flag.String("fleets", "default", "comma-separated fleets to host: name or name=policy (the 'default' fleet is always created)")
+		walDir     = flag.String("wal-dir", "", "durable root for per-fleet admission WALs + compaction snapshots (empty = in-memory only)")
+		snapEvery  = flag.Int("snapshot-interval", 256, "WAL records per compaction snapshot (0 = never compact)")
+		walSync    = flag.String("wal-sync", "always", "WAL append sync policy: 'always' (fsync per admission) or 'os' (page cache)")
 	)
 	cli.Parse("energyschedd")
 
@@ -64,6 +79,24 @@ func main() {
 			cli.Usagef("energyschedd", "-pace must be 'max' or a positive number, got %q", *pace)
 		}
 		paceVal = v
+	}
+	if *walSync != fleet.SyncAlways && *walSync != fleet.SyncOS {
+		cli.Usagef("energyschedd", "-wal-sync must be 'always' or 'os', got %q", *walSync)
+	}
+	var seeds []server.FleetSeed
+	for _, tok := range strings.Split(*fleets, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		seed := server.FleetSeed{ID: tok}
+		if name, pol, ok := strings.Cut(tok, "="); ok {
+			seed.ID, seed.Policy = name, pol
+		}
+		if err := fleet.ValidateID(seed.ID); err != nil {
+			cli.Usagef("energyschedd", "-fleets: %v", err)
+		}
+		seeds = append(seeds, seed)
 	}
 
 	srv, err := server.New(server.Config{
@@ -77,6 +110,10 @@ func main() {
 		AdaptiveTarget:    *adaptive,
 		Pace:              paceVal,
 		SnapshotDir:       *snapDir,
+		WALDir:            *walDir,
+		SnapshotInterval:  *snapEvery,
+		WALSync:           *walSync,
+		Fleets:            seeds,
 		Logf:              log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sync"
+
+	"energysched/internal/datacenter"
+)
+
+// Broker fans one fleet's simulation events out to SSE subscribers.
+// The fleet's event loop (the only publisher) marshals each event
+// once; subscribers get a bounded buffered channel and a ring-buffer
+// backlog for reconnects (Last-Event-ID / ?since=seq). A subscriber
+// that falls further behind than its buffer is disconnected rather
+// than allowed to stall the fleet — the standard slow-consumer
+// contract of event streams.
+type Broker struct {
+	mu      sync.Mutex
+	closed  bool
+	nextSeq uint64
+	ring    []StreamEvent // circular; oldest entry at head once full
+	head    int
+	ringCap int
+	subs    map[*Subscriber]struct{}
+}
+
+// StreamEvent is one published event: its sequence number, kind, and
+// the pre-marshaled JSON payload.
+type StreamEvent struct {
+	Seq  uint64
+	Kind datacenter.EventKind
+	Data []byte
+}
+
+// Subscriber is one SSE consumer's view of the stream. Ch is closed
+// when the consumer falls too far behind or the fleet shuts down.
+type Subscriber struct {
+	Ch chan StreamEvent
+}
+
+// subBuffer is each subscriber's channel depth: how far it may lag the
+// publisher before being disconnected.
+const subBuffer = 256
+
+func newBroker(ringCap int) *Broker {
+	if ringCap <= 0 {
+		ringCap = 4096
+	}
+	return &Broker{ringCap: ringCap, subs: make(map[*Subscriber]struct{})}
+}
+
+// publish assigns the next sequence number, stores the event in the
+// replay ring and forwards it to every live subscriber.
+func (b *Broker) publish(e datacenter.Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return // Event is a plain struct; cannot happen
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.nextSeq++
+	ev := StreamEvent{Seq: b.nextSeq, Kind: e.Kind, Data: data}
+	if len(b.ring) < b.ringCap {
+		b.ring = append(b.ring, ev)
+	} else {
+		b.ring[b.head] = ev
+		b.head = (b.head + 1) % b.ringCap
+	}
+	for sub := range b.subs {
+		select {
+		case sub.Ch <- ev:
+		default:
+			// Slow consumer: cut it loose so the stream never
+			// backpressures the event loop.
+			delete(b.subs, sub)
+			close(sub.Ch)
+		}
+	}
+}
+
+// Subscribe registers a new subscriber and returns it along with the
+// backlog of ring events with sequence number > since, oldest first.
+func (b *Broker) Subscribe(since uint64) (*Subscriber, []StreamEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var backlog []StreamEvent
+	for i := 0; i < len(b.ring); i++ {
+		ev := b.ring[(b.head+i)%len(b.ring)] // oldest first
+		if ev.Seq > since {
+			backlog = append(backlog, ev)
+		}
+	}
+	sub := &Subscriber{Ch: make(chan StreamEvent, subBuffer)}
+	if b.closed {
+		close(sub.Ch)
+		return sub, backlog
+	}
+	b.subs[sub] = struct{}{}
+	return sub, backlog
+}
+
+// Unsubscribe removes the subscriber; safe to call after a
+// slow-consumer disconnect or broker close.
+func (b *Broker) Unsubscribe(sub *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[sub]; ok {
+		delete(b.subs, sub)
+		close(sub.Ch)
+	}
+}
+
+// Seq returns the sequence number of the most recently published
+// event.
+func (b *Broker) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextSeq
+}
+
+// reset clears the replay ring while keeping the sequence counter
+// monotonic. Called on restore: the pre-restore timeline no longer
+// describes the fleet's state, so reconnecting clients must not be
+// served a splice of old and new history.
+func (b *Broker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ring = b.ring[:0]
+	b.head = 0
+}
+
+// close disconnects every subscriber and rejects future publishes.
+// Called when the fleet shuts down (Close or DELETE), so SSE handlers
+// unblock instead of waiting on a dead stream.
+func (b *Broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		delete(b.subs, sub)
+		close(sub.Ch)
+	}
+}

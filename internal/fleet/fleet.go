@@ -1,0 +1,946 @@
+// Package fleet hosts independent datacenter.Simulation instances —
+// fleets — each wrapped in its own single-threaded actor event loop
+// with its own clock pace, SSE event ring, and durability layer. A
+// Manager (manager.go) registers many fleets per process behind the
+// energyschedd HTTP API (internal/server).
+//
+// Durability is a write-ahead log plus interval-triggered compaction
+// snapshots (wal.go): every admission decision is appended to the
+// fleet's WAL before it is applied, and every SnapshotInterval
+// admissions the event-sourced snapshot is rewritten and the WAL
+// reset. Crash recovery therefore loads the last snapshot and replays
+// only the WAL tail — and because the engine is deterministic, the
+// recovered fleet's reports are byte-identical to an uninterrupted
+// run (the PR 3 contract, now enforced across kill-and-restart).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"energysched"
+	"energysched/internal/core"
+	"energysched/internal/datacenter"
+	"energysched/internal/metrics"
+	"energysched/internal/workload"
+)
+
+// Config parameterizes one fleet.
+type Config struct {
+	// Policy selects the scheduler (same names as energysched.Run;
+	// default "SB").
+	Policy string
+	// Seed drives all stochastic components (default 1).
+	Seed int64
+	// LambdaMin, LambdaMax are the power-manager thresholds in percent
+	// (defaults 30, 90).
+	LambdaMin, LambdaMax float64
+	// Score overrides the consolidation costs (nil = paper values).
+	Score *energysched.ScoreParams
+	// Failures enables reliability-driven node crashes.
+	Failures bool
+	// CheckpointSeconds > 0 checkpoints running VMs periodically.
+	CheckpointSeconds float64
+	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
+	AdaptiveTarget float64
+	// Classes overrides the fleet (nil = the paper's 100 nodes).
+	Classes []energysched.NodeClass
+	// Pace is the virtual-seconds-per-wall-second acceleration; <= 0
+	// selects max pacing (watermark-gated, fully deterministic).
+	Pace float64
+	// SnapshotDir receives API-named snapshots (default ".").
+	SnapshotDir string
+	// EventRing is the replay-ring depth for the events stream
+	// (default 4096).
+	EventRing int
+	// Dir is the fleet's durable directory (WAL + compaction
+	// snapshot). Empty disables durability: the fleet is in-memory
+	// only.
+	Dir string
+	// SnapshotInterval compacts the WAL into a fresh snapshot every
+	// this many appended records (0 = never compact automatically).
+	SnapshotInterval int
+	// WALSync is the append sync policy: SyncAlways (default) fsyncs
+	// every acknowledged admission, SyncOS leaves flushing to the OS.
+	WALSync string
+	// Logf, when non-nil, receives fleet log lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "SB"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.LambdaMin == 0 && c.LambdaMax == 0 {
+		c.LambdaMin, c.LambdaMax = 30, 90
+	}
+	if c.SnapshotDir == "" {
+		c.SnapshotDir = "."
+	}
+	if c.WALSync == "" {
+		c.WALSync = SyncAlways
+	}
+	return c
+}
+
+// WALStats describes one fleet's durability layer.
+type WALStats struct {
+	// Enabled reports whether the fleet has a durable directory.
+	Enabled bool `json:"enabled"`
+	// Records currently in the WAL (i.e. appended since the last
+	// compaction snapshot — what a crash right now would replay).
+	Records int `json:"records"`
+	// Appended counts records written since this process opened the
+	// fleet.
+	Appended int `json:"appended"`
+	// Replayed counts the WAL-tail records applied during recovery
+	// when this process opened the fleet: the admissions that happened
+	// after the last compaction snapshot.
+	Replayed int `json:"replayed"`
+	// Snapshots counts compaction snapshots written since open.
+	Snapshots int `json:"snapshots"`
+	// TornTail reports that recovery found (and dropped) a torn or
+	// corrupt final record.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Error is a status-coded fleet error; the HTTP layer maps Status
+// onto the response code.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Msg }
+
+func errf(status int, format string, args ...interface{}) *Error {
+	return &Error{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrClosed is returned by every operation on a shut-down fleet.
+var ErrClosed = errors.New("fleet: shut down")
+
+// Fleet is one hosted scheduler instance: a simulation behind an
+// actor event loop, plus its event broker and durability layer.
+type Fleet struct {
+	id     string
+	cfg    Config
+	broker *Broker
+
+	cmds     chan func()
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// --- event-loop state: touch only from inside do()/loop() ---
+	sim       *datacenter.Simulation
+	jobs      []workload.Job // admission log, in VM-ID order
+	watermark float64        // largest admitted submit time (max pacing)
+	final     *energysched.ServiceReport
+	replaying bool
+	wallStart time.Time
+	virtStart float64
+	wal       *wal
+	walBroken bool // an append failed and could not be rolled back
+	stats     WALStats
+}
+
+// Open builds a fleet, recovers its durable state when Config.Dir is
+// set (last compaction snapshot + WAL tail), starts its event loop,
+// and returns it.
+func Open(id string, cfg Config) (*Fleet, error) {
+	f := &Fleet{
+		id:     id,
+		cfg:    cfg.withDefaults(),
+		cmds:   make(chan func()),
+		stopc:  make(chan struct{}),
+		broker: newBroker(cfg.EventRing),
+	}
+	jobs, now, sealed, err := f.recover()
+	if err != nil {
+		f.wal.close()
+		return nil, err
+	}
+	if err := f.rebuild(jobs, now, sealed); err != nil {
+		f.wal.close()
+		return nil, err
+	}
+	f.wallStart = time.Now()
+	f.wg.Add(1)
+	go f.loop()
+	return f, nil
+}
+
+// recover loads the durable state: the compaction snapshot (if any)
+// plus the WAL tail. It returns the reconstructed admission log, the
+// watermark to fast-forward to, and whether the workload was sealed.
+func (f *Fleet) recover() (jobs []workload.Job, now float64, sealed bool, err error) {
+	if f.cfg.Dir == "" {
+		return nil, 0, false, nil
+	}
+	if err := os.MkdirAll(f.cfg.Dir, 0o755); err != nil {
+		return nil, 0, false, fmt.Errorf("fleet %s: creating durable dir: %w", f.id, err)
+	}
+	f.stats.Enabled = true
+	snapPath := filepath.Join(f.cfg.Dir, checkpointName)
+	if _, serr := os.Stat(snapPath); serr == nil {
+		snap, rerr := readSnapshot(snapPath)
+		if rerr != nil {
+			return nil, 0, false, fmt.Errorf("fleet %s: %w", f.id, rerr)
+		}
+		// The compaction snapshot's scheduling config is the one the
+		// logged jobs were acknowledged under — an API restore may have
+		// changed it after the manifest was written — so it wins over
+		// the manager-supplied config, exactly as in restore().
+		f.adoptSnapshotConfig(snap.Config)
+		for _, sj := range snap.Jobs {
+			jobs = append(jobs, sj.job())
+		}
+		now = snap.SavedVirtual
+		sealed = snap.Sealed
+	}
+	w, recs, torn, werr := openWAL(filepath.Join(f.cfg.Dir, walName), f.cfg.WALSync)
+	if werr != nil {
+		return nil, 0, false, fmt.Errorf("fleet %s: %w", f.id, werr)
+	}
+	f.wal = w
+	f.stats.TornTail = torn
+	if torn {
+		f.logf("wal: torn tail detected and dropped; recovered the intact prefix (%d records)", len(recs))
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case walKindAdmit:
+			if rec.Job == nil {
+				continue
+			}
+			switch {
+			case rec.Job.ID < len(jobs):
+				// Already covered by the snapshot: a crash landed
+				// between snapshot publish and WAL reset. Idempotent.
+				continue
+			case rec.Job.ID > len(jobs):
+				// A gap means the log does not describe this timeline
+				// (e.g. a restore whose checkpoint could not be
+				// persisted). Serve the consistent prefix, but refuse
+				// to acknowledge new admissions a future recovery
+				// would mis-replay.
+				f.walBroken = true
+				f.logf("wal: record for job %d but only %d jobs known; ignoring the rest of the log and going read-only", rec.Job.ID, len(jobs))
+				return jobs, maxWatermark(now, jobs), sealed, nil
+			}
+			jobs = append(jobs, rec.Job.job())
+			f.stats.Replayed++
+		case walKindSeal:
+			sealed = true
+			f.stats.Replayed++
+		default:
+			f.logf("wal: unknown record kind %q ignored", rec.Kind)
+		}
+	}
+	if f.stats.Replayed > 0 || len(jobs) > 0 {
+		f.logf("recovered %d jobs (%d replayed from the wal tail, sealed=%v)", len(jobs), f.stats.Replayed, sealed)
+	}
+	return jobs, maxWatermark(now, jobs), sealed, nil
+}
+
+// maxWatermark returns the admission watermark implied by a snapshot
+// time and a job log: the largest submit time seen.
+func maxWatermark(now float64, jobs []workload.Job) float64 {
+	for _, j := range jobs {
+		if j.Submit > now {
+			now = j.Submit
+		}
+	}
+	return now
+}
+
+// ID returns the fleet's registry identifier.
+func (f *Fleet) ID() string { return f.id }
+
+// Pace returns the configured acceleration (<= 0 = max pacing).
+func (f *Fleet) Pace() float64 { return f.cfg.Pace }
+
+// Broker returns the fleet's SSE event broker.
+func (f *Fleet) Broker() *Broker { return f.broker }
+
+// Close stops the event loop, closes the WAL and disconnects every
+// event subscriber. In-flight requests receive ErrClosed.
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stopc) })
+	f.wg.Wait()
+	f.broker.close()
+	f.wal.close()
+}
+
+func (f *Fleet) logf(format string, args ...interface{}) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf("fleet %s: "+format, append([]interface{}{f.id}, args...)...)
+	}
+}
+
+// --- event loop ---
+
+// do runs fn on the event loop and waits for it; every access to the
+// simulation goes through here, which is what makes the HTTP surface
+// safe under -race with concurrent submitters.
+func (f *Fleet) do(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case f.cmds <- func() { defer close(done); fn() }:
+	case <-f.stopc:
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-f.stopc:
+		return ErrClosed
+	}
+}
+
+// paceTick is the wall-clock granularity of real-time pacing.
+const paceTick = 100 * time.Millisecond
+
+func (f *Fleet) loop() {
+	defer f.wg.Done()
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if f.cfg.Pace > 0 {
+		ticker = time.NewTicker(paceTick)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case fn := <-f.cmds:
+			fn()
+		case <-tick:
+			f.advanceRealtime()
+		case <-f.stopc:
+			return
+		}
+	}
+}
+
+// advanceRealtime moves virtual time to the wall-derived target.
+func (f *Fleet) advanceRealtime() {
+	if f.sim.Done() {
+		return
+	}
+	target := f.virtStart + time.Since(f.wallStart).Seconds()*f.cfg.Pace
+	if target > f.watermark {
+		f.watermark = target
+	}
+	f.sim.StepBefore(f.watermark)
+}
+
+// rebuild replaces the simulation with a fresh one replaying the
+// given admission log up to virtual time now. With sealed, the replay
+// is drained to completion. On error the previous state is kept.
+func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
+	opts := energysched.Options{
+		Policy:            f.cfg.Policy,
+		LambdaMin:         f.cfg.LambdaMin,
+		LambdaMax:         f.cfg.LambdaMax,
+		Seed:              f.cfg.Seed,
+		Score:             f.cfg.Score,
+		Failures:          f.cfg.Failures,
+		CheckpointSeconds: f.cfg.CheckpointSeconds,
+		AdaptiveTarget:    f.cfg.AdaptiveTarget,
+		Classes:           f.cfg.Classes,
+		EventLog: func(e energysched.Event) {
+			if !f.replaying {
+				f.broker.publish(e)
+			}
+		},
+	}
+	sim, err := energysched.NewSimulation(opts)
+	if err != nil {
+		return err
+	}
+	f.replaying = true
+	defer func() { f.replaying = false }()
+	sim.Start()
+	for _, j := range jobs {
+		if _, err := sim.Inject(j); err != nil {
+			return fmt.Errorf("fleet %s: replaying job %d: %w", f.id, j.ID, err)
+		}
+	}
+	sim.StepBefore(now)
+	f.sim = sim
+	f.jobs = append([]workload.Job(nil), jobs...)
+	f.watermark = now
+	f.final = nil
+	f.wallStart = time.Now()
+	f.virtStart = now
+	if sealed {
+		rep := serviceReport(sim.Drain(), true)
+		f.final = &rep
+	}
+	return nil
+}
+
+// --- admission ---
+
+// Submit admits one job.
+func (f *Fleet) Submit(spec energysched.JobSpec) (energysched.JobStatus, error) {
+	var out []energysched.JobStatus
+	var serr error
+	if err := f.do(func() { out, serr = f.admit([]energysched.JobSpec{spec}) }); err != nil {
+		return energysched.JobStatus{}, err
+	}
+	if serr != nil {
+		return energysched.JobStatus{}, serr
+	}
+	return out[0], nil
+}
+
+// SubmitBatch admits a batch of jobs atomically, in order, in a
+// single event-loop turn: either every job is admitted or none is,
+// and virtual time does not advance between the batch's admissions —
+// which makes a batch at max pacing byte-identical to submitting the
+// same jobs sequentially.
+func (f *Fleet) SubmitBatch(specs []energysched.JobSpec) ([]energysched.JobStatus, error) {
+	var out []energysched.JobStatus
+	var serr error
+	if err := f.do(func() { out, serr = f.admit(specs) }); err != nil {
+		return nil, err
+	}
+	return out, serr
+}
+
+// admit validates, logs and injects a batch. Call only from the event
+// loop. The order is deliberate: validate everything (so the batch
+// either fully applies or fully rejects), append everything to the
+// WAL (durability before acknowledgment), then apply to the engine —
+// injection cannot fail after validation, so WAL and memory agree.
+func (f *Fleet) admit(specs []energysched.JobSpec) ([]energysched.JobStatus, error) {
+	if len(specs) == 0 {
+		return nil, errf(http.StatusBadRequest, "empty batch")
+	}
+	if f.sim.Sealed() {
+		return nil, errf(http.StatusConflict, "workload is sealed (drained); submit rejected")
+	}
+	if f.walBroken {
+		return nil, errf(http.StatusInternalServerError, "admission log is broken; fleet is read-only")
+	}
+	now := f.sim.Now()
+	jobs := make([]workload.Job, 0, len(specs))
+	prev := now
+	for i, spec := range specs {
+		j := workload.Job{
+			ID:             len(f.jobs) + i,
+			Name:           spec.Name,
+			Duration:       spec.Duration,
+			CPU:            spec.CPU,
+			Mem:            spec.Mem,
+			DeadlineFactor: spec.DeadlineFactor,
+			FaultTolerance: spec.FaultTolerance,
+			Arch:           spec.Arch,
+			Hypervisor:     spec.Hypervisor,
+		}
+		if j.DeadlineFactor == 0 {
+			j.DeadlineFactor = 1.5
+		}
+		if spec.Submit != nil {
+			j.Submit = *spec.Submit
+		} else {
+			j.Submit = now
+		}
+		if j.Submit < now {
+			return nil, errf(http.StatusConflict,
+				"job %d: submit_s %.3f is in the virtual past (now %.3f)", i, j.Submit, now)
+		}
+		if j.Submit < prev {
+			return nil, errf(http.StatusBadRequest,
+				"job %d: batch submit times must be non-decreasing (%.3f after %.3f)", i, j.Submit, prev)
+		}
+		prev = j.Submit
+		if err := j.Validate(); err != nil {
+			return nil, errf(http.StatusBadRequest, "job %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := f.logAdmissions(jobs); err != nil {
+		return nil, err
+	}
+	out := make([]energysched.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		v, err := f.sim.Inject(j)
+		if err != nil {
+			// Unreachable after validation; if it ever happens the WAL
+			// now disagrees with memory, so stop accepting admissions.
+			f.walBroken = f.wal != nil
+			return nil, errf(http.StatusInternalServerError, "injecting pre-validated job: %v", err)
+		}
+		f.jobs = append(f.jobs, j)
+		out = append(out, jobStatus(v))
+	}
+	if f.cfg.Pace <= 0 {
+		// Max pacing: virtual time chases the admission watermark.
+		if prev > f.watermark {
+			f.watermark = prev
+		}
+		f.sim.StepBefore(f.watermark)
+	}
+	f.maybeCompact()
+	return out, nil
+}
+
+// logAdmissions appends one WAL record per job and flushes once. On
+// failure the log is rolled back to its pre-batch length so disk and
+// memory stay consistent; if even that fails, the fleet goes
+// read-only rather than diverging.
+func (f *Fleet) logAdmissions(jobs []workload.Job) error {
+	if f.wal == nil {
+		return nil
+	}
+	off, records := f.wal.tell()
+	for _, j := range jobs {
+		sj := toSnapJob(j)
+		if err := f.wal.append(walRecord{Kind: walKindAdmit, Job: &sj}, false); err != nil {
+			return f.rollbackWAL(off, records, err)
+		}
+	}
+	if err := f.wal.flush(); err != nil {
+		return f.rollbackWAL(off, records, err)
+	}
+	f.stats.Appended += len(jobs)
+	return nil
+}
+
+func (f *Fleet) rollbackWAL(off int64, records int, cause error) error {
+	if rerr := f.wal.rewind(off, records); rerr != nil {
+		f.walBroken = true
+		f.logf("wal: append failed (%v) and rollback failed (%v); fleet is read-only", cause, rerr)
+		return errf(http.StatusInternalServerError, "admission log broken: %v", cause)
+	}
+	return errf(http.StatusInternalServerError, "admission log append: %v", cause)
+}
+
+// maybeCompact rewrites the compaction snapshot and resets the WAL
+// once enough records have accumulated. Call only from the event loop.
+func (f *Fleet) maybeCompact() {
+	if f.wal == nil || f.cfg.SnapshotInterval <= 0 || f.wal.records < f.cfg.SnapshotInterval {
+		return
+	}
+	f.persistCheckpoint()
+}
+
+// persistCheckpoint publishes the current event-sourced state as the
+// fleet's compaction snapshot and resets the WAL. Snapshot first,
+// reset second: a crash between the two leaves WAL records that are
+// already covered by the snapshot, which recovery skips by job ID.
+// On failure the WAL is untouched (still consistent with memory on
+// the admission path); callers for whom that is NOT true — restore,
+// which just replaced the timeline — must go read-only.
+func (f *Fleet) persistCheckpoint() error {
+	if f.wal == nil {
+		return nil
+	}
+	snap := f.snapshotState()
+	path := filepath.Join(f.cfg.Dir, checkpointName)
+	if err := writeSnapshot(path, snap); err != nil {
+		f.logf("compaction snapshot failed (will retry next interval): %v", err)
+		return err
+	}
+	if err := f.wal.reset(); err != nil {
+		f.logf("wal reset after compaction failed: %v", err)
+		return err
+	}
+	f.stats.Snapshots++
+	f.logf("compacted: snapshot of %d jobs at t=%.1fs, wal reset", len(snap.Jobs), snap.SavedVirtual)
+	return nil
+}
+
+// --- observation ---
+
+// Jobs returns every admitted job's status, in admission order.
+func (f *Fleet) Jobs() ([]energysched.JobStatus, error) {
+	var out []energysched.JobStatus
+	err := f.do(func() {
+		vms := f.sim.VMs()
+		out = make([]energysched.JobStatus, 0, len(vms))
+		for _, v := range vms {
+			out = append(out, jobStatus(v))
+		}
+	})
+	return out, err
+}
+
+// Job returns one job's status.
+func (f *Fleet) Job(id int) (energysched.JobStatus, error) {
+	var st energysched.JobStatus
+	found := false
+	if err := f.do(func() {
+		vms := f.sim.VMs()
+		if id >= 0 && id < len(vms) {
+			st = jobStatus(vms[id])
+			found = true
+		}
+	}); err != nil {
+		return st, err
+	}
+	if !found {
+		return st, errf(http.StatusNotFound, "job %d not found", id)
+	}
+	return st, nil
+}
+
+// Cluster returns the fleet's node-level status.
+func (f *Fleet) Cluster() (energysched.ClusterStatus, error) {
+	var st energysched.ClusterStatus
+	err := f.do(func() {
+		cl := f.sim.Cluster()
+		working, online := cl.Counts()
+		st = energysched.ClusterStatus{
+			Now:          f.sim.Now(),
+			Sealed:       f.sim.Sealed(),
+			Done:         f.sim.Done(),
+			NodesOn:      online,
+			NodesWorking: working,
+			TotalWatts:   f.sim.WattsNow(),
+			Nodes:        make([]energysched.NodeStatus, 0, len(cl.Nodes)),
+		}
+		for _, v := range f.sim.AppendQueue(nil) {
+			st.Queue = append(st.Queue, v.ID)
+		}
+		for _, n := range cl.Nodes {
+			st.Nodes = append(st.Nodes, nodeStatus(n, f.sim.NodeWatts(n.ID)))
+		}
+	})
+	return st, err
+}
+
+// Report returns the paper metrics accumulated so far (final after a
+// drain).
+func (f *Fleet) Report() (energysched.ServiceReport, error) {
+	var rep energysched.ServiceReport
+	err := f.do(func() {
+		if f.final != nil {
+			rep = *f.final
+		} else {
+			rep = serviceReport(f.sim.ReportAt(f.sim.Now()), false)
+		}
+	})
+	return rep, err
+}
+
+// Health returns liveness basics.
+func (f *Fleet) Health() (now float64, done bool, err error) {
+	err = f.do(func() { now, done = f.sim.Now(), f.sim.Done() })
+	return now, done, err
+}
+
+// Stats returns the durability counters.
+func (f *Fleet) Stats() (WALStats, error) {
+	var st WALStats
+	err := f.do(func() {
+		st = f.stats
+		if f.wal != nil {
+			st.Records = f.wal.records
+		}
+	})
+	return st, err
+}
+
+// Info summarizes the fleet for the registry listing.
+func (f *Fleet) Info() (energysched.FleetInfo, error) {
+	var info energysched.FleetInfo
+	err := f.do(func() {
+		info = energysched.FleetInfo{
+			ID:     f.id,
+			Policy: f.cfg.Policy,
+			Seed:   f.cfg.Seed,
+			Pace:   f.cfg.Pace,
+			Now:    f.sim.Now(),
+			Sealed: f.sim.Sealed(),
+			Done:   f.sim.Done(),
+			Jobs:   len(f.jobs),
+		}
+		if f.stats.Enabled {
+			st := f.stats
+			if f.wal != nil {
+				st.Records = f.wal.records
+			}
+			w := energysched.WALStats{
+				Records:   st.Records,
+				Appended:  st.Appended,
+				Replayed:  st.Replayed,
+				Snapshots: st.Snapshots,
+				TornTail:  st.TornTail,
+			}
+			info.WAL = &w
+		}
+	})
+	return info, err
+}
+
+// Drain seals the workload, runs every admitted job to completion and
+// returns the final report. The seal is durable: it is logged to the
+// WAL before the drain, and the drained state is compacted after.
+func (f *Fleet) Drain() (energysched.ServiceReport, error) {
+	var rep energysched.ServiceReport
+	var serr error
+	if err := f.do(func() {
+		if f.final != nil {
+			rep = *f.final
+			return
+		}
+		if f.wal != nil && !f.walBroken {
+			off, records := f.wal.tell()
+			if err := f.wal.append(walRecord{Kind: walKindSeal}, true); err != nil {
+				serr = f.rollbackWAL(off, records, err)
+				return
+			}
+			f.stats.Appended++
+		}
+		r := serviceReport(f.sim.Drain(), true)
+		f.final = &r
+		f.watermark = f.sim.Now()
+		rep = r
+		f.logf("drained: %s", r.Table)
+		f.persistCheckpoint()
+	}); err != nil {
+		return rep, err
+	}
+	return rep, serr
+}
+
+// --- snapshot / restore ---
+
+// ResolveSnapshotPath confines API-supplied snapshot paths to the
+// fleet's snapshot directory: the request names a file, never a
+// location. The HTTP surface is unauthenticated, so honoring client
+// paths verbatim would let any network peer overwrite or probe
+// arbitrary files as the daemon user. (The operator's -restore flag
+// goes through RestoreFile and is not confined.)
+func (f *Fleet) ResolveSnapshotPath(path string) (string, error) {
+	if path == "" {
+		return filepath.Join(f.cfg.SnapshotDir, fmt.Sprintf("energyschedd-%s-%d.snapshot.json", f.id, len(f.jobs))), nil
+	}
+	name := filepath.Base(filepath.Clean(path))
+	if name == "." || name == ".." || name == string(filepath.Separator) {
+		return "", errf(http.StatusBadRequest, "bad snapshot name %q", path)
+	}
+	return filepath.Join(f.cfg.SnapshotDir, name), nil
+}
+
+// Snapshot writes an API-named snapshot (confined to SnapshotDir; an
+// empty path picks a name).
+func (f *Fleet) Snapshot(path string) (energysched.SnapshotInfo, error) {
+	var info energysched.SnapshotInfo
+	var serr error
+	if err := f.do(func() {
+		var p string
+		if p, serr = f.ResolveSnapshotPath(path); serr != nil {
+			return
+		}
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			serr = errf(http.StatusInternalServerError, "%v", err)
+			return
+		}
+		snap := f.snapshotState()
+		if err := writeSnapshot(p, snap); err != nil {
+			serr = errf(http.StatusInternalServerError, "%v", err)
+			return
+		}
+		f.logf("snapshot: %d jobs at t=%.1fs -> %s", len(snap.Jobs), snap.SavedVirtual, p)
+		info = energysched.SnapshotInfo{
+			Path: p, Jobs: len(snap.Jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
+		}
+	}); err != nil {
+		return info, err
+	}
+	return info, serr
+}
+
+// Restore replaces the fleet's state with an API-named snapshot's
+// (confined to SnapshotDir).
+func (f *Fleet) Restore(path string) (energysched.SnapshotInfo, error) {
+	if path == "" {
+		return energysched.SnapshotInfo{}, errf(http.StatusBadRequest, "restore needs a snapshot path")
+	}
+	var info energysched.SnapshotInfo
+	var serr error
+	if err := f.do(func() {
+		var p string
+		if p, serr = f.ResolveSnapshotPath(path); serr == nil {
+			info, serr = f.restore(p)
+		}
+	}); err != nil {
+		return info, err
+	}
+	return info, serr
+}
+
+// RestoreFile loads a snapshot from an operator-supplied path (the
+// -restore flag); unlike Restore it is not confined to SnapshotDir.
+func (f *Fleet) RestoreFile(path string) (energysched.SnapshotInfo, error) {
+	var info energysched.SnapshotInfo
+	var serr error
+	if err := f.do(func() { info, serr = f.restore(path) }); err != nil {
+		return info, err
+	}
+	return info, serr
+}
+
+// adoptSnapshotConfig applies a snapshot's scheduling configuration:
+// the replay's determinism depends on running the logged jobs under
+// exactly the config they were acknowledged with. Used by both the
+// explicit restore path and crash recovery.
+func (f *Fleet) adoptSnapshotConfig(sc snapshotConfig) {
+	f.cfg.Policy = sc.Policy
+	f.cfg.Seed = sc.Seed
+	f.cfg.LambdaMin = sc.LambdaMin
+	f.cfg.LambdaMax = sc.LambdaMax
+	f.cfg.Failures = sc.Failures
+	f.cfg.CheckpointSeconds = sc.CheckpointSeconds
+	f.cfg.AdaptiveTarget = sc.AdaptiveTarget
+	f.cfg.Classes = sc.Classes
+	f.cfg.Score = nil
+	if sc.HasScore {
+		f.cfg.Score = &energysched.ScoreParams{
+			Cempty: sc.Cempty, Cfill: sc.Cfill, THempty: sc.THempty,
+		}
+	}
+}
+
+// restore rebuilds the fleet from a snapshot file. Call only from the
+// event loop.
+func (f *Fleet) restore(path string) (energysched.SnapshotInfo, error) {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return energysched.SnapshotInfo{}, errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	// The snapshot's scheduling configuration wins: determinism of the
+	// replay depends on it. Keep the old config at hand so a failed
+	// replay leaves config and simulation consistent.
+	oldCfg := f.cfg
+	f.adoptSnapshotConfig(snap.Config)
+	jobs := make([]workload.Job, 0, len(snap.Jobs))
+	for _, sj := range snap.Jobs {
+		jobs = append(jobs, sj.job())
+	}
+	if err := f.rebuild(jobs, snap.SavedVirtual, snap.Sealed); err != nil {
+		f.cfg = oldCfg
+		return energysched.SnapshotInfo{}, errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	// The restored timeline supersedes the WAL: republish the restored
+	// state as the compaction snapshot so a crash after this point
+	// recovers the restored fleet, not the pre-restore one. If that
+	// fails, the WAL on disk still describes the OLD timeline — stop
+	// acknowledging admissions a future recovery would mis-replay.
+	if err := f.persistCheckpoint(); err != nil {
+		f.walBroken = true
+		f.logf("restore succeeded in memory but its checkpoint did not persist; fleet is read-only: %v", err)
+	}
+	// The pre-restore timeline no longer describes this fleet: clear
+	// the replay ring (sequence numbers stay monotonic) and mark the
+	// discontinuity for connected stream consumers.
+	f.broker.reset()
+	f.broker.publish(energysched.Event{
+		Time: snap.SavedVirtual, Kind: "restore", VM: -1, Node: -1, Aux: -1,
+	})
+	f.logf("restored %d jobs at t=%.1fs from %s", len(jobs), snap.SavedVirtual, path)
+	return energysched.SnapshotInfo{
+		Path: path, Jobs: len(jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
+	}, nil
+}
+
+// --- metrics ---
+
+// Metrics gathers the fleet's Prometheus samples (without the fleet
+// label; the serving layer attaches it).
+func (f *Fleet) Metrics() ([]metrics.PromSample, error) {
+	var samples []metrics.PromSample
+	err := f.do(func() { samples = f.gatherMetrics() })
+	return samples, err
+}
+
+func (f *Fleet) gatherMetrics() []metrics.PromSample {
+	rep := f.sim.ReportAt(f.sim.Now())
+	cl := f.sim.Cluster()
+	working, online := cl.Counts()
+	stateCount := map[string]int{"off": 0, "booting": 0, "on": 0, "down": 0}
+	for _, n := range cl.Nodes {
+		stateCount[n.State.String()]++
+	}
+	jobCount := map[string]int{}
+	for _, v := range f.sim.VMs() {
+		jobCount[v.State.String()]++
+	}
+	samples := []metrics.PromSample{
+		{Name: "energysched_virtual_time_seconds", Help: "Current virtual time of the simulation.", Kind: metrics.PromGauge, Value: f.sim.Now()},
+		{Name: "energysched_queue_length", Help: "VMs waiting in the scheduler's virtual host.", Kind: metrics.PromGauge, Value: float64(f.sim.QueueLen())},
+		{Name: "energysched_power_watts", Help: "Instantaneous datacenter power draw.", Kind: metrics.PromGauge, Value: f.sim.WattsNow()},
+		{Name: "energysched_energy_kwh_total", Help: "Energy consumed since start of the run.", Kind: metrics.PromCounter, Value: rep.EnergyKWh},
+		{Name: "energysched_cpu_hours_total", Help: "CPU work executed.", Kind: metrics.PromCounter, Value: rep.CPUHours},
+		{Name: "energysched_nodes_working", Help: "Nodes that are on and hosting work.", Kind: metrics.PromGauge, Value: float64(working)},
+		{Name: "energysched_nodes_online", Help: "Nodes powered on.", Kind: metrics.PromGauge, Value: float64(online)},
+	}
+	for _, state := range []string{"off", "booting", "on", "down"} {
+		samples = append(samples, metrics.PromSample{
+			Name: "energysched_nodes", Help: "Nodes by power state.", Kind: metrics.PromGauge,
+			Labels: map[string]string{"state": state}, Value: float64(stateCount[state]),
+		})
+	}
+	for _, state := range []string{"queued", "creating", "running", "migrating", "completed", "failed"} {
+		samples = append(samples, metrics.PromSample{
+			Name: "energysched_jobs", Help: "Admitted jobs by lifecycle state.", Kind: metrics.PromGauge,
+			Labels: map[string]string{"state": state}, Value: float64(jobCount[state]),
+		})
+	}
+	samples = append(samples,
+		metrics.PromSample{Name: "energysched_jobs_admitted_total", Help: "Jobs admitted since start.", Kind: metrics.PromCounter, Value: float64(len(f.jobs))},
+		metrics.PromSample{Name: "energysched_migrations_total", Help: "Completed live migrations.", Kind: metrics.PromCounter, Value: float64(rep.Migrations)},
+		metrics.PromSample{Name: "energysched_failures_total", Help: "Node failures injected.", Kind: metrics.PromCounter, Value: float64(rep.Failures)},
+		metrics.PromSample{Name: "energysched_satisfaction_pct", Help: "Mean client satisfaction of completed jobs.", Kind: metrics.PromGauge, Value: rep.Satisfaction},
+		metrics.PromSample{Name: "energysched_delay_pct", Help: "Mean execution delay of completed jobs.", Kind: metrics.PromGauge, Value: rep.Delay},
+		metrics.PromSample{Name: "energysched_events_published_total", Help: "Simulation events published to the stream.", Kind: metrics.PromCounter, Value: float64(f.broker.Seq())},
+	)
+	if f.stats.Enabled {
+		walRecords := 0
+		if f.wal != nil {
+			walRecords = f.wal.records
+		}
+		samples = append(samples,
+			metrics.PromSample{Name: "energysched_wal_records", Help: "Records currently in the admission WAL (replayed on crash).", Kind: metrics.PromGauge, Value: float64(walRecords)},
+			metrics.PromSample{Name: "energysched_wal_appended_total", Help: "WAL records appended since open.", Kind: metrics.PromCounter, Value: float64(f.stats.Appended)},
+			metrics.PromSample{Name: "energysched_wal_replayed_total", Help: "WAL-tail records replayed during recovery at open.", Kind: metrics.PromCounter, Value: float64(f.stats.Replayed)},
+			metrics.PromSample{Name: "energysched_wal_snapshots_total", Help: "Compaction snapshots written since open.", Kind: metrics.PromCounter, Value: float64(f.stats.Snapshots)},
+		)
+	}
+	if sch, ok := f.sim.Policy().(*core.Scheduler); ok {
+		st := sch.Stats
+		solver := []struct {
+			name, help string
+			v          int
+		}{
+			{"energysched_solver_rounds_total", "Scheduling rounds executed.", st.Rounds},
+			{"energysched_solver_moves_total", "Improving moves applied.", st.Moves},
+			{"energysched_solver_score_evals_total", "Score(h,vm) evaluations.", st.ScoreEvals},
+			{"energysched_solver_limit_hits_total", "Rounds stopped by the iteration limit.", st.LimitHits},
+			{"energysched_solver_col_refreshes_total", "Dirty-column recomputations.", st.ColRefreshes},
+			{"energysched_solver_row_rescans_total", "Per-VM best-move rescans.", st.RowRescans},
+			{"energysched_solver_carry_rounds_total", "Rounds starting from a carried matrix.", st.CarryRounds},
+			{"energysched_solver_stale_rows_total", "Candidate rows re-scored on carry.", st.StaleRows},
+			{"energysched_solver_stale_cols_total", "Host columns re-scored on carry.", st.StaleCols},
+			{"energysched_solver_reused_cells_total", "Base-matrix cells carried across rounds.", st.ReusedCells},
+		}
+		for _, m := range solver {
+			samples = append(samples, metrics.PromSample{Name: m.name, Help: m.help, Kind: metrics.PromCounter, Value: float64(m.v)})
+		}
+	}
+	return samples
+}

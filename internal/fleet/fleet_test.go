@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"energysched"
+)
+
+func testConfig(dir string) Config {
+	return Config{
+		Policy:           "SB",
+		Seed:             1,
+		Dir:              dir,
+		SnapshotInterval: 8,
+		WALSync:          SyncOS, // tests survive process kills, not power loss
+	}
+}
+
+func submitN(t *testing.T, f *Fleet, n, from int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		at := float64(from+i) * 30
+		_, err := f.Submit(energysched.JobSpec{
+			CPU: 100 + float64((from+i)%3)*100, Mem: 5, Duration: 600, Submit: &at,
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", from+i, err)
+		}
+	}
+}
+
+// drainedReport runs the same jobs through an in-memory fleet and
+// drains it: the uninterrupted reference.
+func drainedReport(t *testing.T, n int) energysched.ServiceReport {
+	t.Helper()
+	ref, err := Open("ref", Config{Policy: "SB", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	submitN(t, ref, n, 0)
+	rep, err := ref.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The durability contract: kill (close without any explicit
+// checkpoint), reopen, and the fleet recovers exactly — with restore
+// cost bounded by the snapshot interval, proven by the
+// replayed-record counter.
+func TestFleetRecoveryReplaysOnlyWALTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	f, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 20, 0)
+	st, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 admissions at interval 8: compactions after 8 and 16, 4 in
+	// the WAL tail.
+	if st.Snapshots != 2 || st.Records != 4 || st.Appended != 20 {
+		t.Fatalf("pre-kill stats = %+v", st)
+	}
+	f.Close() // like a kill: nothing beyond the already-acked WAL is written
+
+	f2, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	st2, err := f2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Replayed != 4 {
+		t.Fatalf("recovery replayed %d records, want only the 4 after the last snapshot (stats %+v)", st2.Replayed, st2)
+	}
+	if st2.TornTail {
+		t.Fatal("clean shutdown reported a torn tail")
+	}
+	info, err := f2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs != 20 || info.Sealed {
+		t.Fatalf("recovered info = %+v", info)
+	}
+	got, err := f2.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := drainedReport(t, 20); got != want {
+		t.Fatalf("recovered drain diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// A torn final record (the crash-mid-append artifact) is dropped with
+// a warning: the fleet recovers the acknowledged prefix.
+func TestFleetRecoveryToleratesTornTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	cfg := testConfig(dir)
+	cfg.SnapshotInterval = 0 // keep everything in the WAL
+	f, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 6, 0)
+	f.Close()
+
+	// Corrupt the last record's payload byte.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x55
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned bool
+	cfg.Logf = func(format string, args ...interface{}) { warned = true }
+	f2, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if !warned {
+		t.Error("torn tail recovered without a log line")
+	}
+	st, err := f2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.TornTail || st.Replayed != 5 {
+		t.Fatalf("torn recovery stats = %+v, want TornTail with 5 replayed", st)
+	}
+	got, err := f2.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := drainedReport(t, 5); got != want {
+		t.Fatalf("torn-tail recovery diverged from the 5-job reference:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// A drain (workload seal) is durable too: a sealed fleet recovers
+// sealed, with the identical final report.
+func TestFleetSealSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	f, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 5, 0)
+	want, err := f.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f2, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := f2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sealed recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if !got.Final {
+		t.Fatal("recovered report is not final")
+	}
+	if _, err := f2.Submit(energysched.JobSpec{CPU: 100, Mem: 5, Duration: 60}); err == nil {
+		t.Fatal("sealed fleet accepted a job after recovery")
+	}
+}
+
+// The manager's manifest recreates every fleet (with its own config)
+// on restart, and Delete removes a fleet's durable state for good.
+func TestManagerManifestRecovery(t *testing.T) {
+	root := t.TempDir()
+	mgr, err := NewManager(Options{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("alpha", Config{Policy: "SB", Seed: 1, WALSync: SyncOS}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("beta", Config{Policy: "BF", Seed: 7, WALSync: SyncOS}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("alpha", Config{}); err == nil {
+		t.Fatal("duplicate fleet id accepted")
+	}
+	if _, err := mgr.Create("../evil", Config{}); err == nil {
+		t.Fatal("path-traversal fleet id accepted")
+	}
+	a, _ := mgr.Get("alpha")
+	submitN(t, a, 3, 0)
+	mgr.Close()
+
+	mgr2, err := NewManager(Options{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr2.Len() != 2 {
+		t.Fatalf("recovered %d fleets, want 2", mgr2.Len())
+	}
+	b, err := mgr2.Get("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := b.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != "BF" || info.Seed != 7 {
+		t.Fatalf("beta recovered with config %+v", info)
+	}
+	a2, err := mgr2.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ainfo, err := a2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ainfo.Jobs != 3 {
+		t.Fatalf("alpha recovered %d jobs, want 3", ainfo.Jobs)
+	}
+
+	if err := mgr2.Delete("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "beta")); !os.IsNotExist(err) {
+		t.Fatalf("beta's durable dir survived delete: %v", err)
+	}
+	mgr2.Close()
+
+	mgr3, err := NewManager(Options{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr3.Close()
+	if mgr3.Len() != 1 || !mgr3.Has("alpha") || mgr3.Has("beta") {
+		t.Fatalf("after delete+restart: %d fleets", mgr3.Len())
+	}
+}
+
+// An API restore may change the fleet's scheduling config; a crash
+// after that must recover under the restored config (carried by the
+// compaction snapshot), not the stale one the fleet was created with.
+func TestRecoveryAdoptsRestoredConfig(t *testing.T) {
+	snapDir := t.TempDir()
+
+	// Author a BF/seed-5 snapshot with one job.
+	author, err := Open("a", Config{Policy: "BF", Seed: 5, SnapshotDir: snapDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, author, 1, 0)
+	if _, err := author.Snapshot("bf.snapshot.json"); err != nil {
+		t.Fatal(err)
+	}
+	author.Close()
+
+	// A durable SB fleet restores it, then "crashes".
+	dir := filepath.Join(t.TempDir(), "f")
+	cfg := testConfig(dir)
+	cfg.SnapshotDir = snapDir
+	f, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Restore("bf.snapshot.json"); err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 2, 1) // acknowledged under the restored BF config
+	f.Close()
+
+	f2, err := Open("f", cfg) // manager would pass the stale SB config
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	info, err := f2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != "BF" || info.Seed != 5 || info.Jobs != 3 {
+		t.Fatalf("recovery ignored the restored config: %+v", info)
+	}
+}

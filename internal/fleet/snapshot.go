@@ -1,4 +1,4 @@
-package server
+package fleet
 
 import (
 	"encoding/json"
@@ -17,12 +17,21 @@ import (
 // fresh simulation and replays the log up to the watermark, landing
 // bit-for-bit on the saved state (the same argument that makes online
 // admission byte-identical to offline replay; see
-// docs/ARCHITECTURE.md, "Service mode"). The price is restore time
-// linear in simulated history; the payoff is a snapshot format that
+// docs/ARCHITECTURE.md, "Service mode"). Restore time linear in
+// *snapshotted* history is the price; the WAL (wal.go) bounds the
+// tail that has to be replayed beyond the snapshot, and the format
 // cannot desynchronize from engine internals across versions.
 
-// snapshotFormat identifies the snapshot file layout.
+// snapshotFormat identifies the snapshot file layout. The layout is
+// unchanged since PR 3, so pre-fleet snapshots restore into any fleet.
 const snapshotFormat = "energyschedd-snapshot/v1"
+
+// checkpointName is the per-fleet compaction snapshot inside the
+// fleet's durable directory (Config.Dir).
+const checkpointName = "snapshot.json"
+
+// walName is the per-fleet admission log inside Config.Dir.
+const walName = "wal.log"
 
 type snapshotFile struct {
 	Format       string         `json:"format"`
@@ -79,36 +88,36 @@ func (sj snapJob) job() workload.Job {
 
 // snapshotState assembles the snapshot of the current actor state.
 // Call only from the event loop.
-func (s *Server) snapshotState() snapshotFile {
+func (f *Fleet) snapshotState() snapshotFile {
 	snap := snapshotFile{
 		Format:       snapshotFormat,
-		SavedVirtual: s.sim.Now(),
-		Sealed:       s.sim.Sealed(),
-		Config:       s.snapshotConfig(),
-		Jobs:         make([]snapJob, 0, len(s.jobs)),
+		SavedVirtual: f.sim.Now(),
+		Sealed:       f.sim.Sealed(),
+		Config:       f.snapshotConfig(),
+		Jobs:         make([]snapJob, 0, len(f.jobs)),
 	}
-	for _, j := range s.jobs {
+	for _, j := range f.jobs {
 		snap.Jobs = append(snap.Jobs, toSnapJob(j))
 	}
 	return snap
 }
 
-func (s *Server) snapshotConfig() snapshotConfig {
+func (f *Fleet) snapshotConfig() snapshotConfig {
 	sc := snapshotConfig{
-		Policy:            s.cfg.Policy,
-		Seed:              s.cfg.Seed,
-		LambdaMin:         s.cfg.LambdaMin,
-		LambdaMax:         s.cfg.LambdaMax,
-		Failures:          s.cfg.Failures,
-		CheckpointSeconds: s.cfg.CheckpointSeconds,
-		AdaptiveTarget:    s.cfg.AdaptiveTarget,
-		Classes:           s.cfg.Classes,
+		Policy:            f.cfg.Policy,
+		Seed:              f.cfg.Seed,
+		LambdaMin:         f.cfg.LambdaMin,
+		LambdaMax:         f.cfg.LambdaMax,
+		Failures:          f.cfg.Failures,
+		CheckpointSeconds: f.cfg.CheckpointSeconds,
+		AdaptiveTarget:    f.cfg.AdaptiveTarget,
+		Classes:           f.cfg.Classes,
 	}
-	if s.cfg.Score != nil {
+	if f.cfg.Score != nil {
 		sc.HasScore = true
-		sc.Cempty = s.cfg.Score.Cempty
-		sc.Cfill = s.cfg.Score.Cfill
-		sc.THempty = s.cfg.Score.THempty
+		sc.Cempty = f.cfg.Score.Cempty
+		sc.Cfill = f.cfg.Score.Cfill
+		sc.THempty = f.cfg.Score.THempty
 	}
 	return sc
 }
@@ -117,24 +126,28 @@ func (s *Server) snapshotConfig() snapshotConfig {
 func writeSnapshot(path string, snap snapshotFile) error {
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		return fmt.Errorf("server: encoding snapshot: %w", err)
+		return fmt.Errorf("fleet: encoding snapshot: %w", err)
 	}
 	data = append(data, '\n')
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*.json")
 	if err != nil {
-		return fmt.Errorf("server: snapshot temp file: %w", err)
+		return fmt.Errorf("fleet: snapshot temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("server: writing snapshot: %w", err)
+		return fmt.Errorf("fleet: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: syncing snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: closing snapshot: %w", err)
+		return fmt.Errorf("fleet: closing snapshot: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("server: publishing snapshot: %w", err)
+		return fmt.Errorf("fleet: publishing snapshot: %w", err)
 	}
 	return nil
 }
@@ -144,13 +157,13 @@ func readSnapshot(path string) (snapshotFile, error) {
 	var snap snapshotFile
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return snap, fmt.Errorf("server: reading snapshot: %w", err)
+		return snap, fmt.Errorf("fleet: reading snapshot: %w", err)
 	}
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return snap, fmt.Errorf("server: decoding snapshot %s: %w", path, err)
+		return snap, fmt.Errorf("fleet: decoding snapshot %s: %w", path, err)
 	}
 	if snap.Format != snapshotFormat {
-		return snap, fmt.Errorf("server: %s: unsupported snapshot format %q", path, snap.Format)
+		return snap, fmt.Errorf("fleet: %s: unsupported snapshot format %q", path, snap.Format)
 	}
 	return snap, nil
 }

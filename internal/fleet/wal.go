@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The durable admission log. Every state-changing admission decision
+// (an admitted job, a workload seal) is appended to a per-fleet
+// write-ahead log before it is applied to the in-memory simulation, so
+// a crashed daemon recovers by loading the last compaction snapshot
+// and replaying only the WAL tail — restore cost is bounded by the
+// snapshot interval instead of growing with the fleet's whole history.
+//
+// On-disk format: a sequence of length-prefixed records,
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// where the payload is one JSON-encoded walRecord. The CRC (Castagnoli
+// polynomial, the checksum used by ext4 metadata and Kafka logs) makes
+// a torn final record — the expected artifact of a crash mid-append —
+// detectable: recovery keeps the longest valid prefix, truncates the
+// rest, and logs a warning instead of refusing to start.
+
+// walHeaderSize is the fixed per-record header: length + CRC.
+const walHeaderSize = 8
+
+// walMaxRecord bounds a single record; a longer length prefix is
+// treated as tail corruption rather than attempted as an allocation.
+const walMaxRecord = 16 << 20
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sync policies for WAL appends.
+const (
+	// SyncAlways fsyncs after every append (and every batch): an
+	// acknowledged admission survives power loss. The default.
+	SyncAlways = "always"
+	// SyncOS leaves flushing to the OS page cache: an acknowledged
+	// admission survives a process crash (SIGKILL) but not power loss.
+	SyncOS = "os"
+)
+
+// walRecord is one logical WAL entry.
+type walRecord struct {
+	// Kind is "admit" (Job set) or "seal" (workload drained).
+	Kind string   `json:"kind"`
+	Job  *snapJob `json:"job,omitempty"`
+}
+
+const (
+	walKindAdmit = "admit"
+	walKindSeal  = "seal"
+)
+
+// wal is an open write-ahead log positioned for appends.
+type wal struct {
+	f       *os.File
+	path    string
+	sync    bool
+	records int // records currently in the file
+}
+
+// openWAL opens (creating if needed) the log at path, replays every
+// intact record, truncates any torn tail, and returns the log
+// positioned for appends plus the recovered records. torn reports
+// whether a corrupt tail was dropped.
+func openWAL(path string, syncPolicy string) (w *wal, recs []walRecord, torn bool, err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("fleet: opening wal: %w", err)
+	}
+	recs, good, torn, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("fleet: truncating torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("fleet: seeking wal: %w", err)
+	}
+	return &wal{
+		f:       f,
+		path:    path,
+		sync:    syncPolicy != SyncOS,
+		records: len(recs),
+	}, recs, torn, nil
+}
+
+// scanWAL reads records from the start of f, returning the decoded
+// records, the byte offset of the end of the last intact record, and
+// whether trailing bytes past that offset had to be discarded.
+func scanWAL(f *os.File) (recs []walRecord, good int64, torn bool, err error) {
+	r := io.Reader(f)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, false, fmt.Errorf("fleet: seeking wal: %w", err)
+	}
+	var header [walHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if err == io.EOF {
+				return recs, good, torn, nil // clean end
+			}
+			return recs, good, true, nil // short header: torn tail
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > walMaxRecord {
+			return recs, good, true, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, good, true, nil // short payload: torn tail
+		}
+		if crc32.Checksum(payload, walCRCTable) != sum {
+			return recs, good, true, nil // corrupt record: stop at the prefix
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, true, nil // CRC passed but not our JSON
+		}
+		recs = append(recs, rec)
+		good += int64(walHeaderSize) + int64(length)
+	}
+}
+
+// append encodes and writes one record. With the always policy the
+// record is fsynced before append returns; call flush after a batch
+// when appending several records in one event-loop turn.
+func (w *wal) append(rec walRecord, flush bool) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding wal record: %w", err)
+	}
+	var header [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, walCRCTable))
+	if _, err := w.f.Write(header[:]); err != nil {
+		return fmt.Errorf("fleet: appending wal record: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("fleet: appending wal record: %w", err)
+	}
+	w.records++
+	if flush {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush applies the sync policy after one or more appends.
+func (w *wal) flush() error {
+	if !w.sync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: syncing wal: %w", err)
+	}
+	return nil
+}
+
+// tell returns the current append offset and record count, for
+// rollback of a partially-appended batch.
+func (w *wal) tell() (int64, int) {
+	off, _ := w.f.Seek(0, io.SeekCurrent)
+	return off, w.records
+}
+
+// rewind truncates the log back to a tell()-saved position, undoing
+// appends that could not be completed or acknowledged.
+func (w *wal) rewind(off int64, records int) error {
+	if err := w.f.Truncate(off); err != nil {
+		return fmt.Errorf("fleet: rolling back wal: %w", err)
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("fleet: rolling back wal: %w", err)
+	}
+	w.records = records
+	return nil
+}
+
+// reset discards every record: called after a compaction snapshot has
+// been durably published, at which point the log's records are
+// redundant with the snapshot.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("fleet: compacting wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("fleet: compacting wal: %w", err)
+	}
+	w.records = 0
+	return w.flush()
+}
+
+// close releases the file handle.
+func (w *wal) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -1,4 +1,4 @@
-package server
+package fleet
 
 import (
 	"sort"
@@ -56,6 +56,13 @@ func nodeStatus(n *cluster.Node, watts float64) energysched.NodeStatus {
 		Occupation:  n.Occupation(),
 		Watts:       watts,
 	}
+}
+
+// ServiceReportOf renders an engine report as the wire ServiceReport.
+// Exported for tests that compare daemon output byte-for-byte against
+// offline energysched.Run reports.
+func ServiceReportOf(rep metrics.Report, final bool) energysched.ServiceReport {
+	return serviceReport(rep, final)
 }
 
 func serviceReport(rep metrics.Report, final bool) energysched.ServiceReport {

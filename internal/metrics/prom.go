@@ -71,6 +71,31 @@ func WriteProm(w io.Writer, samples []PromSample) error {
 	return nil
 }
 
+// MergeByName interleaves several sample sets into one
+// WriteProm-compatible slice: samples sharing a name become adjacent
+// (so the # HELP / # TYPE header is emitted once), names ordered by
+// first appearance across the sets. The multi-fleet daemon uses this
+// to merge per-fleet sample sets that carry a distinguishing label.
+func MergeByName(sets ...[]PromSample) []PromSample {
+	var order []string
+	byName := make(map[string][]PromSample)
+	total := 0
+	for _, set := range sets {
+		for _, s := range set {
+			if _, ok := byName[s.Name]; !ok {
+				order = append(order, s.Name)
+			}
+			byName[s.Name] = append(byName[s.Name], s)
+			total++
+		}
+	}
+	out := make([]PromSample, 0, total)
+	for _, name := range order {
+		out = append(out, byName[name]...)
+	}
+	return out
+}
+
 func promLabels(labels map[string]string) string {
 	if len(labels) == 0 {
 		return ""

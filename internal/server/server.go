@@ -1,42 +1,48 @@
-// Package server hosts the datacenter engine as a long-running
-// service: the energyschedd daemon. It wraps datacenter.Simulation in
-// a single-threaded event loop (the engine is deterministic and
-// single-threaded by design; concurrency stops at the loop's command
-// channel, the actor pattern of consul-style agents) and exposes an
-// HTTP/JSON API for online job admission, fleet observation, event
-// streaming, paper-metric reports, Prometheus metrics, and
-// snapshot/restore.
+// Package server is the HTTP layer of the energyschedd daemon. Since
+// PR 4 it hosts N independent fleets — isolated datacenter.Simulation
+// instances, each with its own actor event loop, clock pace, event
+// ring and WAL-backed durability (internal/fleet) — behind a shared
+// registry and a versioned multi-fleet API:
 //
-// Two pacing modes drive virtual time:
+//	POST   /v1/fleets             create a fleet from a named config
+//	GET    /v1/fleets             list fleets
+//	GET    /v1/fleets/{id}        one fleet's summary (incl. WAL stats)
+//	DELETE /v1/fleets/{id}        stop and remove a fleet
+//	...    /v1/fleets/{id}/jobs   all PR 3 routes, remounted per fleet
 //
-//   - max (Config.Pace <= 0): virtual time is gated by the admission
-//     watermark — the largest submit time admitted so far. The engine
-//     only fires events strictly before the watermark, which makes
-//     online admission byte-identical to an offline energysched.Run
-//     over the same jobs (see docs/ARCHITECTURE.md, "Service mode").
-//   - real time (Config.Pace > 0): virtual time tracks wall time at
-//     the given acceleration; jobs submitted without an explicit
-//     submit time arrive "now".
+// The PR 3 single-fleet routes (/v1/jobs, /v1/report, ...) keep
+// working as aliases for the "default" fleet. GET /metrics aggregates
+// every fleet's samples under a fleet label.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"strconv"
-	"sync"
 	"time"
 
 	"energysched"
-	"energysched/internal/core"
-	"energysched/internal/datacenter"
+	"energysched/internal/fleet"
 	"energysched/internal/metrics"
-	"energysched/internal/workload"
 )
 
-// Config parameterizes the daemon.
+// DefaultFleet is the fleet the PR 3 alias routes address.
+const DefaultFleet = "default"
+
+// FleetSeed names a fleet to create at startup (the -fleets flag).
+type FleetSeed struct {
+	ID     string
+	Policy string // "" = the daemon's default policy
+}
+
+// Config parameterizes the daemon. The scheduling fields double as
+// the base configuration every fleet inherits unless its FleetSpec
+// overrides them.
 type Config struct {
 	// Policy selects the scheduler (same names as energysched.Run;
 	// default "SB").
@@ -54,16 +60,31 @@ type Config struct {
 	CheckpointSeconds float64
 	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
 	AdaptiveTarget float64
-	// Classes overrides the fleet (nil = the paper's 100 nodes).
+	// Classes overrides the fleet hardware (nil = the paper's 100
+	// nodes).
 	Classes []energysched.NodeClass
 	// Pace is the virtual-seconds-per-wall-second acceleration; <= 0
 	// selects max pacing (watermark-gated, fully deterministic).
 	Pace float64
-	// SnapshotDir receives unnamed snapshots (default ".").
+	// SnapshotDir receives API-named snapshots; non-default fleets use
+	// a per-fleet subdirectory (default ".").
 	SnapshotDir string
 	// EventRing is the replay-ring depth for /v1/events reconnects
 	// (default 4096).
 	EventRing int
+	// WALDir is the durable root: per-fleet admission WALs, compaction
+	// snapshots and the fleet manifest live under it. Empty disables
+	// durability.
+	WALDir string
+	// SnapshotInterval compacts each fleet's WAL into a fresh snapshot
+	// every this many records (0 = never compact automatically).
+	SnapshotInterval int
+	// WALSync is the WAL append sync policy: fleet.SyncAlways
+	// (default) or fleet.SyncOS.
+	WALSync string
+	// Fleets are additional fleets to ensure at startup, next to
+	// DefaultFleet (fleets recovered from the WAL manifest win).
+	Fleets []FleetSeed
 	// Logf, when non-nil, receives daemon log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -84,411 +105,115 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is one running daemon instance.
+// Server is one running daemon instance: the fleet registry plus the
+// HTTP surface.
 type Server struct {
-	cfg    Config
-	mux    *http.ServeMux
-	broker *broker
-
-	cmds     chan func()
-	stopc    chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
-
-	// --- event-loop state: touch only from inside do()/loop() ---
-	sim       *datacenter.Simulation
-	jobs      []workload.Job // admission log, in VM-ID order
-	watermark float64        // largest admitted submit time (max pacing)
-	final     *energysched.ServiceReport
-	replaying bool
-	wallStart time.Time
-	virtStart float64
+	cfg Config
+	mux *http.ServeMux
+	mgr *fleet.Manager
 }
 
-var errClosed = errors.New("server: daemon is shut down")
-
-// New builds a daemon, starts its event loop, and returns it. Callers
-// mount Handler on an http.Server and Close the daemon on shutdown.
+// New builds a daemon: it opens the fleet registry (recovering every
+// fleet recorded under WALDir), ensures the default and seeded fleets
+// exist, and mounts the HTTP routes. Callers mount Handler on an
+// http.Server and Close the daemon on shutdown.
 func New(cfg Config) (*Server, error) {
-	s := &Server{
-		cfg:    cfg.withDefaults(),
-		mux:    http.NewServeMux(),
-		cmds:   make(chan func()),
-		stopc:  make(chan struct{}),
-		broker: newBroker(cfg.EventRing),
-	}
-	if err := s.rebuild(nil, 0, false); err != nil {
+	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	mgr, err := fleet.NewManager(fleet.Options{Dir: cfg.WALDir, Logf: cfg.Logf})
+	if err != nil {
 		return nil, err
 	}
+	s.mgr = mgr
+	seeds := append([]FleetSeed{{ID: DefaultFleet}}, s.cfg.Fleets...)
+	for _, seed := range seeds {
+		if seed.ID == "" || mgr.Has(seed.ID) {
+			continue // recovered from the manifest: its config wins
+		}
+		spec := energysched.FleetSpec{ID: seed.ID, Policy: seed.Policy}
+		if _, err := mgr.Create(seed.ID, s.fleetConfig(seed.ID, spec)); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("server: creating fleet %s: %w", seed.ID, err)
+		}
+	}
 	s.routes()
-	s.wallStart = time.Now()
-	s.wg.Add(1)
-	go s.loop()
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
-
-// Close stops the event loop. In-flight requests receive errClosed.
-func (s *Server) Close() {
-	s.stopOnce.Do(func() { close(s.stopc) })
-	s.wg.Wait()
-}
-
-// RestoreFile loads a snapshot at startup (the -restore flag).
-func (s *Server) RestoreFile(path string) (energysched.SnapshotInfo, error) {
-	var info energysched.SnapshotInfo
-	var rerr error
-	err := s.do(func() { info, rerr = s.restore(path) })
-	if err != nil {
-		return info, err
-	}
-	return info, rerr
-}
-
-func (s *Server) logf(format string, args ...interface{}) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
-// --- event loop ---
-
-// do runs fn on the event loop and waits for it; every access to the
-// simulation goes through here, which is what makes the HTTP surface
-// safe under -race with concurrent submitters.
-func (s *Server) do(fn func()) error {
-	done := make(chan struct{})
-	select {
-	case s.cmds <- func() { defer close(done); fn() }:
-	case <-s.stopc:
-		return errClosed
-	}
-	select {
-	case <-done:
-		return nil
-	case <-s.stopc:
-		return errClosed
-	}
-}
-
-// paceTick is the wall-clock granularity of real-time pacing.
-const paceTick = 100 * time.Millisecond
-
-func (s *Server) loop() {
-	defer s.wg.Done()
-	var ticker *time.Ticker
-	var tick <-chan time.Time
-	if s.cfg.Pace > 0 {
-		ticker = time.NewTicker(paceTick)
-		tick = ticker.C
-		defer ticker.Stop()
-	}
-	for {
-		select {
-		case fn := <-s.cmds:
-			fn()
-		case <-tick:
-			s.advanceRealtime()
-		case <-s.stopc:
-			return
-		}
-	}
-}
-
-// advanceRealtime moves virtual time to the wall-derived target.
-func (s *Server) advanceRealtime() {
-	if s.sim.Done() {
-		return
-	}
-	target := s.virtStart + time.Since(s.wallStart).Seconds()*s.cfg.Pace
-	if target > s.watermark {
-		s.watermark = target
-	}
-	s.sim.StepBefore(s.watermark)
-}
-
-// rebuild replaces the simulation with a fresh one replaying the
-// given admission log up to virtual time now. With sealed, the replay
-// is drained to completion. On error the previous state is kept.
-func (s *Server) rebuild(jobs []workload.Job, now float64, sealed bool) error {
-	opts := energysched.Options{
+// fleetConfig derives one fleet's configuration: the daemon's base
+// config with the spec's overrides applied.
+func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config {
+	fc := fleet.Config{
 		Policy:            s.cfg.Policy,
+		Seed:              s.cfg.Seed,
 		LambdaMin:         s.cfg.LambdaMin,
 		LambdaMax:         s.cfg.LambdaMax,
-		Seed:              s.cfg.Seed,
 		Score:             s.cfg.Score,
 		Failures:          s.cfg.Failures,
 		CheckpointSeconds: s.cfg.CheckpointSeconds,
 		AdaptiveTarget:    s.cfg.AdaptiveTarget,
 		Classes:           s.cfg.Classes,
-		EventLog: func(e energysched.Event) {
-			if !s.replaying {
-				s.broker.publish(e)
-			}
-		},
+		Pace:              s.cfg.Pace,
+		SnapshotDir:       s.cfg.SnapshotDir,
+		EventRing:         s.cfg.EventRing,
+		SnapshotInterval:  s.cfg.SnapshotInterval,
+		WALSync:           s.cfg.WALSync,
+		Logf:              s.cfg.Logf,
 	}
-	sim, err := energysched.NewSimulation(opts)
-	if err != nil {
-		return err
+	if id != DefaultFleet {
+		// Per-fleet snapshot namespaces: API-named snapshots of
+		// different fleets must not overwrite each other.
+		fc.SnapshotDir = filepath.Join(s.cfg.SnapshotDir, id)
 	}
-	s.replaying = true
-	defer func() { s.replaying = false }()
-	sim.Start()
-	for _, j := range jobs {
-		if _, err := sim.Inject(j); err != nil {
-			return fmt.Errorf("server: replaying job %d: %w", j.ID, err)
-		}
+	if spec.Policy != "" {
+		fc.Policy = spec.Policy
 	}
-	sim.StepBefore(now)
-	s.sim = sim
-	s.jobs = append([]workload.Job(nil), jobs...)
-	s.watermark = now
-	s.final = nil
-	s.wallStart = time.Now()
-	s.virtStart = now
-	if sealed {
-		rep := serviceReport(sim.Drain(), true)
-		s.final = &rep
+	if spec.Seed != 0 {
+		fc.Seed = spec.Seed
 	}
-	return nil
+	if spec.LambdaMin != 0 {
+		fc.LambdaMin = spec.LambdaMin
+	}
+	if spec.LambdaMax != 0 {
+		fc.LambdaMax = spec.LambdaMax
+	}
+	if spec.Pace != nil {
+		fc.Pace = *spec.Pace
+	}
+	if spec.Failures {
+		fc.Failures = true
+	}
+	if spec.CheckpointSeconds > 0 {
+		fc.CheckpointSeconds = spec.CheckpointSeconds
+	}
+	if spec.AdaptiveTarget > 0 {
+		fc.AdaptiveTarget = spec.AdaptiveTarget
+	}
+	if spec.SnapshotInterval > 0 {
+		fc.SnapshotInterval = spec.SnapshotInterval
+	}
+	return fc
 }
 
-// --- actor-side operations ---
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
 
-func (s *Server) submit(spec energysched.JobSpec) (energysched.JobStatus, error) {
-	if s.sim.Sealed() {
-		return energysched.JobStatus{}, &httpError{http.StatusConflict, "workload is sealed (drained); submit rejected"}
-	}
-	j := workload.Job{
-		ID:             len(s.jobs),
-		Name:           spec.Name,
-		Duration:       spec.Duration,
-		CPU:            spec.CPU,
-		Mem:            spec.Mem,
-		DeadlineFactor: spec.DeadlineFactor,
-		FaultTolerance: spec.FaultTolerance,
-		Arch:           spec.Arch,
-		Hypervisor:     spec.Hypervisor,
-	}
-	if j.DeadlineFactor == 0 {
-		j.DeadlineFactor = 1.5
-	}
-	if spec.Submit != nil {
-		j.Submit = *spec.Submit
-	} else {
-		j.Submit = s.sim.Now()
-	}
-	if j.Submit < s.sim.Now() {
-		return energysched.JobStatus{}, &httpError{http.StatusConflict,
-			fmt.Sprintf("submit_s %.3f is in the virtual past (now %.3f)", j.Submit, s.sim.Now())}
-	}
-	if err := j.Validate(); err != nil {
-		return energysched.JobStatus{}, &httpError{http.StatusBadRequest, err.Error()}
-	}
-	v, err := s.sim.Inject(j)
-	if err != nil {
-		return energysched.JobStatus{}, &httpError{http.StatusBadRequest, err.Error()}
-	}
-	s.jobs = append(s.jobs, j)
-	if s.cfg.Pace <= 0 {
-		// Max pacing: virtual time chases the admission watermark.
-		if j.Submit > s.watermark {
-			s.watermark = j.Submit
-		}
-		s.sim.StepBefore(s.watermark)
-	}
-	return jobStatus(v), nil
-}
+// Close stops every fleet. In-flight requests receive 503.
+func (s *Server) Close() { s.mgr.Close() }
 
-func (s *Server) clusterStatus() energysched.ClusterStatus {
-	cl := s.sim.Cluster()
-	working, online := cl.Counts()
-	st := energysched.ClusterStatus{
-		Now:          s.sim.Now(),
-		Sealed:       s.sim.Sealed(),
-		Done:         s.sim.Done(),
-		NodesOn:      online,
-		NodesWorking: working,
-		TotalWatts:   s.sim.WattsNow(),
-		Nodes:        make([]energysched.NodeStatus, 0, len(cl.Nodes)),
-	}
-	for _, v := range s.sim.AppendQueue(nil) {
-		st.Queue = append(st.Queue, v.ID)
-	}
-	for _, n := range cl.Nodes {
-		st.Nodes = append(st.Nodes, nodeStatus(n, s.sim.NodeWatts(n.ID)))
-	}
-	return st
-}
+// Manager exposes the fleet registry (tests and embedders).
+func (s *Server) Manager() *fleet.Manager { return s.mgr }
 
-func (s *Server) report() energysched.ServiceReport {
-	if s.final != nil {
-		return *s.final
-	}
-	return serviceReport(s.sim.ReportAt(s.sim.Now()), false)
-}
-
-func (s *Server) drain() energysched.ServiceReport {
-	if s.final == nil {
-		rep := serviceReport(s.sim.Drain(), true)
-		s.final = &rep
-		s.watermark = s.sim.Now()
-		s.logf("drained: %s", rep.Table)
-	}
-	return *s.final
-}
-
-// resolveSnapshotPath confines API-supplied snapshot paths to the
-// configured snapshot directory: the request names a file, never a
-// location. The HTTP surface is unauthenticated, so honoring client
-// paths verbatim would let any network peer overwrite or probe
-// arbitrary files as the daemon user. (The operator's -restore flag
-// goes through RestoreFile and is not confined.)
-func (s *Server) resolveSnapshotPath(path string) (string, error) {
-	if path == "" {
-		return filepath.Join(s.cfg.SnapshotDir, fmt.Sprintf("energyschedd-%d.snapshot.json", len(s.jobs))), nil
-	}
-	name := filepath.Base(filepath.Clean(path))
-	if name == "." || name == ".." || name == string(filepath.Separator) {
-		return "", &httpError{http.StatusBadRequest, fmt.Sprintf("bad snapshot name %q", path)}
-	}
-	return filepath.Join(s.cfg.SnapshotDir, name), nil
-}
-
-func (s *Server) snapshot(path string) (energysched.SnapshotInfo, error) {
-	path, err := s.resolveSnapshotPath(path)
+// RestoreFile loads a snapshot into the default fleet at startup (the
+// -restore flag).
+func (s *Server) RestoreFile(path string) (energysched.SnapshotInfo, error) {
+	f, err := s.mgr.Get(DefaultFleet)
 	if err != nil {
 		return energysched.SnapshotInfo{}, err
 	}
-	snap := s.snapshotState()
-	if err := writeSnapshot(path, snap); err != nil {
-		return energysched.SnapshotInfo{}, &httpError{http.StatusInternalServerError, err.Error()}
-	}
-	s.logf("snapshot: %d jobs at t=%.1fs -> %s", len(snap.Jobs), snap.SavedVirtual, path)
-	return energysched.SnapshotInfo{
-		Path: path, Jobs: len(snap.Jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
-	}, nil
-}
-
-func (s *Server) restore(path string) (energysched.SnapshotInfo, error) {
-	snap, err := readSnapshot(path)
-	if err != nil {
-		return energysched.SnapshotInfo{}, &httpError{http.StatusUnprocessableEntity, err.Error()}
-	}
-	// The snapshot's scheduling configuration wins: determinism of the
-	// replay depends on it. Keep the old config at hand so a failed
-	// replay leaves config and simulation consistent.
-	oldCfg := s.cfg
-	s.cfg.Policy = snap.Config.Policy
-	s.cfg.Seed = snap.Config.Seed
-	s.cfg.LambdaMin = snap.Config.LambdaMin
-	s.cfg.LambdaMax = snap.Config.LambdaMax
-	s.cfg.Failures = snap.Config.Failures
-	s.cfg.CheckpointSeconds = snap.Config.CheckpointSeconds
-	s.cfg.AdaptiveTarget = snap.Config.AdaptiveTarget
-	s.cfg.Classes = snap.Config.Classes
-	s.cfg.Score = nil
-	if snap.Config.HasScore {
-		s.cfg.Score = &energysched.ScoreParams{
-			Cempty: snap.Config.Cempty, Cfill: snap.Config.Cfill, THempty: snap.Config.THempty,
-		}
-	}
-	jobs := make([]workload.Job, 0, len(snap.Jobs))
-	for _, sj := range snap.Jobs {
-		jobs = append(jobs, sj.job())
-	}
-	if err := s.rebuild(jobs, snap.SavedVirtual, snap.Sealed); err != nil {
-		s.cfg = oldCfg
-		return energysched.SnapshotInfo{}, &httpError{http.StatusUnprocessableEntity, err.Error()}
-	}
-	// The pre-restore timeline no longer describes this daemon: clear
-	// the replay ring (sequence numbers stay monotonic) and mark the
-	// discontinuity for connected stream consumers.
-	s.broker.reset()
-	s.broker.publish(energysched.Event{
-		Time: snap.SavedVirtual, Kind: "restore", VM: -1, Node: -1, Aux: -1,
-	})
-	s.logf("restored %d jobs at t=%.1fs from %s", len(jobs), snap.SavedVirtual, path)
-	return energysched.SnapshotInfo{
-		Path: path, Jobs: len(jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
-	}, nil
-}
-
-func (s *Server) gatherMetrics() []metrics.PromSample {
-	rep := s.sim.ReportAt(s.sim.Now())
-	cl := s.sim.Cluster()
-	working, online := cl.Counts()
-	stateCount := map[string]int{"off": 0, "booting": 0, "on": 0, "down": 0}
-	for _, n := range cl.Nodes {
-		stateCount[n.State.String()]++
-	}
-	jobCount := map[string]int{}
-	for _, v := range s.sim.VMs() {
-		jobCount[v.State.String()]++
-	}
-	samples := []metrics.PromSample{
-		{Name: "energysched_virtual_time_seconds", Help: "Current virtual time of the simulation.", Kind: metrics.PromGauge, Value: s.sim.Now()},
-		{Name: "energysched_queue_length", Help: "VMs waiting in the scheduler's virtual host.", Kind: metrics.PromGauge, Value: float64(s.sim.QueueLen())},
-		{Name: "energysched_power_watts", Help: "Instantaneous datacenter power draw.", Kind: metrics.PromGauge, Value: s.sim.WattsNow()},
-		{Name: "energysched_energy_kwh_total", Help: "Energy consumed since start of the run.", Kind: metrics.PromCounter, Value: rep.EnergyKWh},
-		{Name: "energysched_cpu_hours_total", Help: "CPU work executed.", Kind: metrics.PromCounter, Value: rep.CPUHours},
-		{Name: "energysched_nodes_working", Help: "Nodes that are on and hosting work.", Kind: metrics.PromGauge, Value: float64(working)},
-		{Name: "energysched_nodes_online", Help: "Nodes powered on.", Kind: metrics.PromGauge, Value: float64(online)},
-	}
-	for _, state := range []string{"off", "booting", "on", "down"} {
-		samples = append(samples, metrics.PromSample{
-			Name: "energysched_nodes", Help: "Nodes by power state.", Kind: metrics.PromGauge,
-			Labels: map[string]string{"state": state}, Value: float64(stateCount[state]),
-		})
-	}
-	for _, state := range []string{"queued", "creating", "running", "migrating", "completed", "failed"} {
-		samples = append(samples, metrics.PromSample{
-			Name: "energysched_jobs", Help: "Admitted jobs by lifecycle state.", Kind: metrics.PromGauge,
-			Labels: map[string]string{"state": state}, Value: float64(jobCount[state]),
-		})
-	}
-	samples = append(samples,
-		metrics.PromSample{Name: "energysched_jobs_admitted_total", Help: "Jobs admitted since start.", Kind: metrics.PromCounter, Value: float64(len(s.jobs))},
-		metrics.PromSample{Name: "energysched_migrations_total", Help: "Completed live migrations.", Kind: metrics.PromCounter, Value: float64(rep.Migrations)},
-		metrics.PromSample{Name: "energysched_failures_total", Help: "Node failures injected.", Kind: metrics.PromCounter, Value: float64(rep.Failures)},
-		metrics.PromSample{Name: "energysched_satisfaction_pct", Help: "Mean client satisfaction of completed jobs.", Kind: metrics.PromGauge, Value: rep.Satisfaction},
-		metrics.PromSample{Name: "energysched_delay_pct", Help: "Mean execution delay of completed jobs.", Kind: metrics.PromGauge, Value: rep.Delay},
-		metrics.PromSample{Name: "energysched_events_published_total", Help: "Simulation events published to the stream.", Kind: metrics.PromCounter, Value: float64(s.broker.seq())},
-	)
-	if sch, ok := s.sim.Policy().(*core.Scheduler); ok {
-		st := sch.Stats
-		solver := []struct {
-			name, help string
-			v          int
-		}{
-			{"energysched_solver_rounds_total", "Scheduling rounds executed.", st.Rounds},
-			{"energysched_solver_moves_total", "Improving moves applied.", st.Moves},
-			{"energysched_solver_score_evals_total", "Score(h,vm) evaluations.", st.ScoreEvals},
-			{"energysched_solver_limit_hits_total", "Rounds stopped by the iteration limit.", st.LimitHits},
-			{"energysched_solver_col_refreshes_total", "Dirty-column recomputations.", st.ColRefreshes},
-			{"energysched_solver_row_rescans_total", "Per-VM best-move rescans.", st.RowRescans},
-			{"energysched_solver_carry_rounds_total", "Rounds starting from a carried matrix.", st.CarryRounds},
-			{"energysched_solver_stale_rows_total", "Candidate rows re-scored on carry.", st.StaleRows},
-			{"energysched_solver_stale_cols_total", "Host columns re-scored on carry.", st.StaleCols},
-			{"energysched_solver_reused_cells_total", "Base-matrix cells carried across rounds.", st.ReusedCells},
-		}
-		for _, m := range solver {
-			samples = append(samples, metrics.PromSample{Name: m.name, Help: m.help, Kind: metrics.PromCounter, Value: float64(m.v)})
-		}
-	}
-	return samples
+	return f.RestoreFile(path)
 }
 
 // --- HTTP surface ---
-
-type httpError struct {
-	status int
-	msg    string
-}
-
-func (e *httpError) Error() string { return e.msg }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -499,57 +224,161 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	var he *httpError
-	if errors.As(err, &he) {
-		status = he.status
-	} else if errors.Is(err, errClosed) {
+	var fe *fleet.Error
+	if errors.As(err, &fe) {
+		status = fe.Status
+	} else if errors.Is(err, fleet.ErrClosed) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, energysched.APIError{Status: status, Message: err.Error()})
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
-	s.mux.HandleFunc("GET /v1/report", s.handleReport)
-	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
-	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
-	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/fleets", s.handleFleetCreate)
+	s.mux.HandleFunc("GET /v1/fleets", s.handleFleetList)
+	s.mux.HandleFunc("GET /v1/fleets/{fleet}", s.handleFleetInfo)
+	s.mux.HandleFunc("DELETE /v1/fleets/{fleet}", s.handleFleetDelete)
+	// The per-fleet API, mounted twice: under /v1/fleets/{fleet} and —
+	// for PR 3 compatibility — at the old paths, which alias the
+	// default fleet.
+	for _, p := range []string{"/v1", "/v1/fleets/{fleet}"} {
+		s.mux.HandleFunc("POST "+p+"/jobs", s.handleSubmit)
+		s.mux.HandleFunc("GET "+p+"/jobs", s.handleJobs)
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}", s.handleJob)
+		s.mux.HandleFunc("GET "+p+"/cluster", s.handleCluster)
+		s.mux.HandleFunc("GET "+p+"/report", s.handleReport)
+		s.mux.HandleFunc("POST "+p+"/drain", s.handleDrain)
+		s.mux.HandleFunc("POST "+p+"/snapshot", s.handleSnapshot)
+		s.mux.HandleFunc("POST "+p+"/restore", s.handleRestore)
+		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec energysched.JobSpec
+// fleetFor resolves the addressed fleet: the {fleet} path segment, or
+// the default fleet on the alias routes.
+func (s *Server) fleetFor(r *http.Request) (*fleet.Fleet, error) {
+	id := r.PathValue("fleet")
+	if id == "" {
+		id = DefaultFleet
+	}
+	return s.mgr.Get(id)
+}
+
+// --- fleet registry handlers ---
+
+func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
+	var spec energysched.FleetSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
-		writeErr(w, &httpError{http.StatusBadRequest, "decoding job spec: " + err.Error()})
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "decoding fleet spec: " + err.Error()})
 		return
 	}
-	var st energysched.JobStatus
-	var serr error
-	if err := s.do(func() { st, serr = s.submit(spec) }); err != nil {
+	if err := fleet.ValidateID(spec.ID); err != nil {
 		writeErr(w, err)
 		return
 	}
-	if serr != nil {
-		writeErr(w, serr)
+	f, err := s.mgr.Create(spec.ID, s.fleetConfig(spec.ID, spec))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := f.Info()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleFleetList(w http.ResponseWriter, r *http.Request) {
+	fleets := s.mgr.List()
+	out := make([]energysched.FleetInfo, 0, len(fleets))
+	for _, f := range fleets {
+		info, err := f.Info()
+		if err != nil {
+			continue // closing concurrently; omit from the listing
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := f.Info()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("fleet")
+	if err := s.mgr.Delete(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id, "deleted": true})
+}
+
+// --- per-fleet handlers ---
+
+// handleSubmit admits one job (body = JobSpec object) or a batch
+// (body = JSON array of JobSpec), the batch atomically in one
+// event-loop turn.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "reading body: " + err.Error()})
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var specs []energysched.JobSpec
+		if err := json.Unmarshal(trimmed, &specs); err != nil {
+			writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "decoding job batch: " + err.Error()})
+			return
+		}
+		out, err := f.SubmitBatch(specs)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, out)
+		return
+	}
+	var spec energysched.JobSpec
+	if err := json.Unmarshal(trimmed, &spec); err != nil {
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "decoding job spec: " + err.Error()})
+		return
+	}
+	st, err := f.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	var out []energysched.JobStatus
-	if err := s.do(func() {
-		vms := s.sim.VMs()
-		out = make([]energysched.JobStatus, 0, len(vms))
-		for _, v := range vms {
-			out = append(out, jobStatus(v))
-		}
-	}); err != nil {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out, err := f.Jobs()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -557,33 +386,32 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
+	f, err := s.fleetFor(r)
 	if err != nil {
-		writeErr(w, &httpError{http.StatusBadRequest, "bad job id"})
-		return
-	}
-	var st energysched.JobStatus
-	found := false
-	if err := s.do(func() {
-		vms := s.sim.VMs()
-		if id >= 0 && id < len(vms) {
-			st = jobStatus(vms[id])
-			found = true
-		}
-	}); err != nil {
 		writeErr(w, err)
 		return
 	}
-	if !found {
-		writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("job %d not found", id)})
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "bad job id"})
+		return
+	}
+	st, err := f.Job(id)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	var st energysched.ClusterStatus
-	if err := s.do(func() { st = s.clusterStatus() }); err != nil {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := f.Cluster()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -591,8 +419,13 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	var rep energysched.ServiceReport
-	if err := s.do(func() { rep = s.report() }); err != nil {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := f.Report()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -600,8 +433,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
-	var rep energysched.ServiceReport
-	if err := s.do(func() { rep = s.drain() }); err != nil {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := f.Drain()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -609,47 +447,38 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	path, err := decodePath(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	var info energysched.SnapshotInfo
-	var serr error
-	if err := s.do(func() { info, serr = s.snapshot(path) }); err != nil {
+	info, err := f.Snapshot(path)
+	if err != nil {
 		writeErr(w, err)
-		return
-	}
-	if serr != nil {
-		writeErr(w, serr)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	path, err := decodePath(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	if path == "" {
-		writeErr(w, &httpError{http.StatusBadRequest, "restore needs a snapshot path"})
-		return
-	}
-	var info energysched.SnapshotInfo
-	var serr error
-	if err := s.do(func() {
-		var p string
-		if p, serr = s.resolveSnapshotPath(path); serr == nil {
-			info, serr = s.restore(p)
-		}
-	}); err != nil {
+	info, err := f.Restore(path)
+	if err != nil {
 		writeErr(w, err)
-		return
-	}
-	if serr != nil {
-		writeErr(w, serr)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -663,38 +492,64 @@ func decodePath(r *http.Request) (string, error) {
 		Path string `json:"path"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16)).Decode(&body); err != nil {
-		return "", &httpError{http.StatusBadRequest, "decoding body: " + err.Error()}
+		return "", &fleet.Error{Status: http.StatusBadRequest, Msg: "decoding body: " + err.Error()}
 	}
 	return body.Path, nil
 }
 
+// --- aggregated endpoints ---
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var samples []metrics.PromSample
-	if err := s.do(func() { samples = s.gatherMetrics() }); err != nil {
-		writeErr(w, err)
-		return
+	fleets := s.mgr.List()
+	sets := make([][]metrics.PromSample, 0, len(fleets)+1)
+	sets = append(sets, []metrics.PromSample{{
+		Name: "energysched_fleets", Help: "Fleets hosted by this daemon.",
+		Kind: metrics.PromGauge, Value: float64(len(fleets)),
+	}})
+	for _, f := range fleets {
+		samples, err := f.Metrics()
+		if err != nil {
+			continue // closing concurrently; omit
+		}
+		for i := range samples {
+			if samples[i].Labels == nil {
+				samples[i].Labels = map[string]string{}
+			}
+			samples[i].Labels["fleet"] = f.ID()
+		}
+		sets = append(sets, samples)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	metrics.WriteProm(w, samples)
+	metrics.WriteProm(w, metrics.MergeByName(sets...))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	var now float64
-	var done bool
-	if err := s.do(func() { now, done = s.sim.Now(), s.sim.Done() }); err != nil {
-		writeErr(w, err)
-		return
+	fleets := s.mgr.List()
+	per := make(map[string]interface{}, len(fleets))
+	for _, f := range fleets {
+		now, done, err := f.Health()
+		if err != nil {
+			continue
+		}
+		per[f.ID()] = map[string]interface{}{"now_s": now, "done": done}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "now_s": now, "done": done})
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ok": true, "fleet_count": len(fleets), "fleets": per,
+	})
 }
 
 // heartbeatInterval keeps idle SSE connections alive through proxies.
 const heartbeatInterval = 15 * time.Second
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, &httpError{http.StatusInternalServerError, "streaming unsupported"})
+		writeErr(w, &fleet.Error{Status: http.StatusInternalServerError, Msg: "streaming unsupported"})
 		return
 	}
 	var since uint64
@@ -703,8 +558,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
 		since, _ = strconv.ParseUint(v, 10, 64)
 	}
-	sub, backlog := s.broker.subscribe(since)
-	defer s.broker.unsubscribe(sub)
+	broker := f.Broker()
+	sub, backlog := broker.Subscribe(since)
+	defer broker.Unsubscribe(sub)
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -720,14 +576,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer heartbeat.Stop()
 	for {
 		select {
-		case ev, ok := <-sub.ch:
+		case ev, ok := <-sub.Ch:
 			if !ok {
-				return // disconnected as a slow consumer
+				return // slow consumer cut loose, or the fleet closed
 			}
 			writeSSE(w, ev)
 			// Drain whatever is already buffered before flushing.
-			for len(sub.ch) > 0 {
-				if ev, ok = <-sub.ch; !ok {
+			for len(sub.Ch) > 0 {
+				if ev, ok = <-sub.Ch; !ok {
 					return
 				}
 				writeSSE(w, ev)
@@ -738,12 +594,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		case <-r.Context().Done():
 			return
-		case <-s.stopc:
-			return
 		}
 	}
 }
 
-func writeSSE(w http.ResponseWriter, ev streamEvent) {
-	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.seq, ev.kind, ev.data)
+func writeSSE(w http.ResponseWriter, ev fleet.StreamEvent) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, ev.Data)
 }

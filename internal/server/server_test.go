@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"energysched"
+	"energysched/internal/fleet"
 	"energysched/internal/workload"
 )
 
@@ -62,7 +63,7 @@ func offlineReport(t *testing.T, trace *workload.Trace, policy string, seed int6
 	if err != nil {
 		t.Fatal(err)
 	}
-	return serviceReport(rep, true)
+	return fleet.ServiceReportOf(rep, true)
 }
 
 func paperDayTrace() *workload.Trace {
@@ -356,9 +357,10 @@ func TestClusterAndMetricsEndpoints(t *testing.T) {
 	text := string(body)
 	for _, want := range []string{
 		"# TYPE energysched_power_watts gauge",
-		"energysched_jobs{state=\"completed\"} 1",
+		"energysched_jobs{fleet=\"default\",state=\"completed\"} 1",
 		"# TYPE energysched_solver_rounds_total counter",
-		"energysched_jobs_admitted_total 1",
+		"energysched_jobs_admitted_total{fleet=\"default\"} 1",
+		"energysched_fleets 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, text)
@@ -439,5 +441,349 @@ func TestDrainBeyondSafetyHorizon(t *testing.T) {
 	}
 	if rep.JobsCompleted != 1 || rep.SimEnd < far {
 		t.Fatalf("far-future drain report = %+v", rep)
+	}
+}
+
+// --- PR 4: multi-fleet + batched admission + durability ---
+
+// Batched admission: POST /v1/jobs with a JSON array admits the batch
+// atomically in one event-loop turn; at max pacing the drained report
+// is byte-identical to submitting the same jobs one by one (and to
+// the offline run).
+func TestBatchAdmissionByteIdenticalToSequential(t *testing.T) {
+	trace := paperDayTrace()
+	specs := make([]energysched.JobSpec, 0, trace.Len())
+	for _, j := range trace.Jobs {
+		specs = append(specs, specFromJob(j))
+	}
+	ctx := context.Background()
+
+	_, hsBatch, clBatch := newTestServer(t, Config{Policy: "SB", Seed: 1})
+	sts, err := clBatch.SubmitJobs(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != trace.Len() || sts[len(sts)-1].ID != trace.Len()-1 {
+		t.Fatalf("batch admitted %d jobs", len(sts))
+	}
+	if _, err := clBatch.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_, hsSeq, clSeq := newTestServer(t, Config{Policy: "SB", Seed: 1})
+	for i, spec := range specs {
+		if _, err := clSeq.SubmitJob(ctx, spec); err != nil {
+			t.Fatalf("sequential submit %d: %v", i, err)
+		}
+	}
+	if _, err := clSeq.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	batchBody := getBody(t, hsBatch.URL+"/v1/report")
+	seqBody := getBody(t, hsSeq.URL+"/v1/report")
+	if !bytes.Equal(batchBody, seqBody) {
+		t.Fatalf("batch report diverged from sequential:\n got %s\nwant %s", batchBody, seqBody)
+	}
+	want, _ := json.Marshal(offlineReport(t, trace, "SB", 1))
+	want = append(want, '\n')
+	if !bytes.Equal(batchBody, want) {
+		t.Fatalf("batch report diverged from offline:\n got %s\nwant %s", batchBody, want)
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// An invalid job anywhere in a batch must reject the whole batch.
+func TestBatchAdmissionAtomicRejection(t *testing.T) {
+	_, _, client := newTestServer(t, Config{Policy: "BF", Seed: 1})
+	ctx := context.Background()
+	t0, t1 := 0.0, 30.0
+	_, err := client.SubmitJobs(ctx, []energysched.JobSpec{
+		{CPU: 100, Mem: 5, Duration: 600, Submit: &t0},
+		{CPU: 0, Mem: 5, Duration: 600, Submit: &t1}, // invalid: no CPU
+	})
+	if !isStatus(err, 400) {
+		t.Fatalf("bad batch: %v", err)
+	}
+	jobs, err := client.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("rejected batch left %d jobs admitted", len(jobs))
+	}
+	// Out-of-order submit times within a batch are rejected up front.
+	_, err = client.SubmitJobs(ctx, []energysched.JobSpec{
+		{CPU: 100, Mem: 5, Duration: 600, Submit: &t1},
+		{CPU: 100, Mem: 5, Duration: 600, Submit: &t0},
+	})
+	if !isStatus(err, 400) {
+		t.Fatalf("out-of-order batch: %v", err)
+	}
+}
+
+// Fleet registry CRUD, and the PR 3 routes as aliases of the default
+// fleet.
+func TestFleetRegistryAndAliases(t *testing.T) {
+	_, hs, client := newTestServer(t, Config{Policy: "SB", Seed: 1})
+	ctx := context.Background()
+
+	info, err := client.CreateFleet(ctx, energysched.FleetSpec{ID: "batch", Policy: "BF", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "batch" || info.Policy != "BF" || info.Seed != 3 || info.WAL != nil {
+		t.Fatalf("created fleet info = %+v", info)
+	}
+	if _, err := client.CreateFleet(ctx, energysched.FleetSpec{ID: "batch"}); !isStatus(err, 409) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if _, err := client.CreateFleet(ctx, energysched.FleetSpec{ID: "../evil"}); !isStatus(err, 400) {
+		t.Errorf("traversal id: %v", err)
+	}
+	fleets, err := client.Fleets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleets) != 2 || fleets[0].ID != "batch" || fleets[1].ID != "default" {
+		t.Fatalf("fleet list = %+v", fleets)
+	}
+
+	// The same job admitted through the alias and through the scoped
+	// route lands in the same (default) fleet; the "batch" fleet stays
+	// empty.
+	at := 0.0
+	if _, err := client.SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at}); err != nil {
+		t.Fatal(err)
+	}
+	at2 := 30.0
+	if _, err := client.Fleet("default").SubmitJob(ctx, energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at2}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := client.GetFleet(ctx, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Jobs != 2 {
+		t.Fatalf("default fleet has %d jobs, want 2", d.Jobs)
+	}
+	b, err := client.GetFleet(ctx, "batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Jobs != 0 {
+		t.Fatalf("batch fleet has %d jobs, want 0", b.Jobs)
+	}
+	aliasBody := getBody(t, hs.URL+"/v1/report")
+	scopedBody := getBody(t, hs.URL+"/v1/fleets/default/report")
+	if !bytes.Equal(aliasBody, scopedBody) {
+		t.Fatalf("alias and scoped report differ:\n%s\n%s", aliasBody, scopedBody)
+	}
+
+	if err := client.DeleteFleet(ctx, "batch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.GetFleet(ctx, "batch"); !isStatus(err, 404) {
+		t.Errorf("deleted fleet still resolves: %v", err)
+	}
+	if _, err := client.Fleet("batch").Report(ctx); !isStatus(err, 404) {
+		t.Errorf("deleted fleet still serves: %v", err)
+	}
+	if err := client.DeleteFleet(ctx, "nope"); !isStatus(err, 404) {
+		t.Errorf("deleting unknown fleet: %v", err)
+	}
+}
+
+// Multi-fleet isolation under -race: concurrent submitters hammer
+// three fleets with different policies and seeds at once; afterwards,
+// each fleet's drained report must be byte-identical to a solo
+// single-fleet daemon run over the same accepted jobs — concurrency
+// across fleets must not leak into any fleet's schedule.
+func TestMultiFleetIsolationHammer(t *testing.T) {
+	_, hs, client := newTestServer(t, Config{Policy: "SB", Seed: 1})
+	ctx := context.Background()
+	specs := []energysched.FleetSpec{
+		{ID: "sb", Policy: "SB", Seed: 1},
+		{ID: "bf", Policy: "BF", Seed: 7},
+		{ID: "dbf", Policy: "DBF", Seed: 11},
+	}
+	for _, fs := range specs {
+		if _, err := client.CreateFleet(ctx, fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const submitters = 4
+	const perSubmitter = 30
+	var wg sync.WaitGroup
+	for _, fs := range specs {
+		fc := client.Fleet(fs.ID)
+		var clock atomic.Int64 // per-fleet virtual submit-time allocator
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perSubmitter; i++ {
+					submit := float64(clock.Add(30))
+					spec := energysched.JobSpec{
+						CPU: 100 + float64((g+i)%3)*100, Mem: 5, Duration: 900,
+						Submit: &submit, DeadlineFactor: 1.5,
+					}
+					_, err := fc.SubmitJob(ctx, spec)
+					var apiErr *energysched.APIError
+					if err != nil && !(errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict) {
+						t.Errorf("fleet %s submit: %v", fs.ID, err)
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("submitters failed")
+	}
+
+	for _, fs := range specs {
+		fc := client.Fleet(fs.ID)
+		// The accepted set, in admission order (= VM-ID order). The
+		// watermark race means some submissions got 409; the accepted
+		// submit times are non-decreasing by construction, so a solo
+		// sequential replay is valid.
+		jobs, err := fc.Jobs(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("fleet %s accepted no jobs", fs.ID)
+		}
+		if _, err := fc.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		hammered := getBody(t, hs.URL+"/v1/fleets/"+fs.ID+"/report")
+
+		_, hsSolo, clSolo := newTestServer(t, Config{Policy: fs.Policy, Seed: fs.Seed})
+		for _, j := range jobs {
+			submit := j.Submit
+			if _, err := clSolo.SubmitJob(ctx, energysched.JobSpec{
+				CPU: j.CPU, Mem: j.Mem, Duration: j.Duration,
+				Submit: &submit, DeadlineFactor: 1.5,
+			}); err != nil {
+				t.Fatalf("solo replay of fleet %s: %v", fs.ID, err)
+			}
+		}
+		if _, err := clSolo.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		solo := getBody(t, hsSolo.URL+"/v1/report")
+		if !bytes.Equal(hammered, solo) {
+			t.Fatalf("fleet %s diverged from its solo run:\n got %s\nwant %s", fs.ID, hammered, solo)
+		}
+	}
+}
+
+// Durability through the full server: admit into two fleets (one
+// API-created) with a WAL, drop the server without any explicit
+// snapshot, restart on the same directory, and finish — the final
+// reports must be byte-identical to uninterrupted runs, and recovery
+// must replay only the WAL tail.
+func TestServerWALRestartReproducesReports(t *testing.T) {
+	trace := paperDayTrace()
+	half := trace.Len() / 2
+	walDir := t.TempDir()
+	ctx := context.Background()
+	cfg := Config{Policy: "SB", Seed: 1, WALDir: walDir, SnapshotInterval: 16}
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+	client1 := energysched.NewClient(hs1.URL)
+	if _, err := client1.CreateFleet(ctx, energysched.FleetSpec{ID: "second", Policy: "BF", Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range trace.Jobs[:half] {
+		if _, err := client1.SubmitJob(ctx, specFromJob(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	secondAt := 0.0
+	if _, err := client1.Fleet("second").SubmitJobs(ctx, []energysched.JobSpec{
+		{CPU: 200, Mem: 10, Duration: 1800, Submit: &secondAt},
+		{CPU: 100, Mem: 5, Duration: 3600, Submit: &secondAt},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hs1.Close()
+	srv1.Close() // no drain, no snapshot call: only the WAL has the tail
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer func() { hs2.Close(); srv2.Close() }()
+	client2 := energysched.NewClient(hs2.URL)
+
+	fleets, err := client2.Fleets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleets) != 2 {
+		t.Fatalf("recovered %d fleets, want 2 (default + second): %+v", len(fleets), fleets)
+	}
+	d, err := client2.GetFleet(ctx, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Jobs != half || d.WAL == nil {
+		t.Fatalf("default fleet after restart = %+v", d)
+	}
+	// With compaction every 16 admissions, recovery must have replayed
+	// only the tail, not the whole history.
+	if d.WAL.Replayed != half%16 {
+		t.Fatalf("default fleet replayed %d records, want %d (tail after last snapshot); stats %+v",
+			d.WAL.Replayed, half%16, d.WAL)
+	}
+	sec, err := client2.GetFleet(ctx, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Jobs != 2 || sec.Policy != "BF" || sec.WAL == nil || sec.WAL.Replayed != 2 {
+		t.Fatalf("second fleet after restart = %+v (wal %+v)", sec, sec.WAL)
+	}
+
+	// Finish the trace on the restarted daemon: byte-identical to the
+	// uninterrupted offline run.
+	for _, j := range trace.Jobs[half:] {
+		if _, err := client2.SubmitJob(ctx, specFromJob(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := getBody(t, hs2.URL+"/v1/report")
+	want, _ := json.Marshal(offlineReport(t, trace, "SB", 1))
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restarted run diverged from offline:\n got %s\nwant %s", got, want)
 	}
 }
