@@ -362,6 +362,55 @@ func BenchmarkScoreSolverRoundChurnFresh(b *testing.B) {
 	}
 }
 
+// --- sharded parallel rounds: one fleet at 10× the paper's scale ---
+
+// bigRoundCtx is one scheduling round far past the paper's 100 nodes:
+// 1000 hosts (150 fast / 500 medium / 350 slow) × 4000 queued VMs.
+// At this scale the V×H score matrix is 32 MB of float64 — the memory
+// and CPU bound flagged since PR 2 — and one serial round costs
+// seconds; the sharded engine splits the matrix into per-shard slabs
+// of V×⌈H/K⌉ cells (the slabMB metric) and fans the build and the
+// per-move refreshes out over K workers. Every variant below applies
+// the exact same moves (enforced by the differential tests); only
+// wall-clock and slab shape change.
+func bigRoundCtx() *policy.Context {
+	classes := cluster.PaperClasses()
+	for i := range classes {
+		classes[i].Count *= 10
+	}
+	cls := cluster.MustNew(classes)
+	for _, n := range cls.Nodes {
+		n.State = cluster.On
+	}
+	var queue []*vm.VM
+	for i := 0; i < 4000; i++ {
+		queue = append(queue, vm.New(i, vm.Requirements{CPU: float64(50 * (1 + i%4)), Mem: 5}, 0, 3600, 7200))
+	}
+	return &policy.Context{Now: 0, Cluster: cls, Queue: queue, LambdaMin: 0.3, LambdaMax: 0.9}
+}
+
+func benchShardedRound(b *testing.B, shards int) {
+	ctx := bigRoundCtx()
+	cfg := core.SBConfig()
+	cfg.Shards = shards
+	var sch *core.Scheduler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch = core.MustScheduler(cfg)
+		sch.Schedule(ctx)
+	}
+	b.ReportMetric(float64(sch.Stats.Moves), "moves")
+	b.ReportMetric(float64(sch.Stats.MaxSlabCells)*8/float64(1<<20), "slabMB")
+}
+
+func BenchmarkShardedRound1000N4000V_Serial(b *testing.B) { benchShardedRound(b, 0) }
+func BenchmarkShardedRound1000N4000V_K1(b *testing.B)     { benchShardedRound(b, 1) }
+func BenchmarkShardedRound1000N4000V_K2(b *testing.B)     { benchShardedRound(b, 2) }
+func BenchmarkShardedRound1000N4000V_K4(b *testing.B)     { benchShardedRound(b, 4) }
+func BenchmarkShardedRound1000N4000V_K8(b *testing.B)     { benchShardedRound(b, 8) }
+func BenchmarkShardedRound1000N4000V_KMax(b *testing.B)   { benchShardedRound(b, -1) }
+
 // --- extensions: adaptive thresholds, DVFS governors, economics ---
 
 // Dynamic λ (the paper's future-work threshold adjustment) vs the

@@ -146,6 +146,11 @@ type FleetSpec struct {
 	CheckpointSeconds float64 `json:"checkpoint_s,omitempty"`
 	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
 	AdaptiveTarget float64 `json:"adaptive_target,omitempty"`
+	// Shards overrides the solver's sharded parallel round engine:
+	// 0 inherits the daemon's -shards setting, -1 uses one shard per
+	// GOMAXPROCS, K >= 1 uses exactly K shards. Scheduling decisions
+	// are byte-identical at any setting — this is a performance knob.
+	Shards int `json:"shards,omitempty"`
 	// SnapshotInterval > 0 overrides how many WAL records accumulate
 	// before the fleet compacts them into a snapshot.
 	SnapshotInterval int `json:"snapshot_interval,omitempty"`

@@ -62,10 +62,12 @@ func main() {
 		failures   = flag.Bool("failures", false, "enable reliability-driven node failures")
 		checkpoint = flag.Float64("checkpoint", 0, "VM checkpoint interval in virtual seconds (0 = off)")
 		adaptive   = flag.Float64("adaptive", 0, "dynamic-λ satisfaction target in percent (0 = static)")
+		shards     = flag.Int("shards", 0, "solver shards per scheduling round: 0 = serial, -1 = GOMAXPROCS, K = exactly K (decisions are byte-identical at any setting)")
 		pace       = flag.String("pace", "max", "virtual pacing: 'max' (admission-gated, deterministic) or virtual seconds per wall second (e.g. 1, 60)")
 		snapDir    = flag.String("snapshot-dir", ".", "directory for unnamed snapshots")
 		restore    = flag.String("restore", "", "restore this snapshot into the default fleet before serving")
 		fleets     = flag.String("fleets", "default", "comma-separated fleets to host: name or name=policy (the 'default' fleet is always created)")
+		maxFleets  = flag.Int("max-fleets", 64, "cap on hosted fleets; POST /v1/fleets returns 429 at the cap (0 = unlimited; startup fleets are exempt)")
 		walDir     = flag.String("wal-dir", "", "durable root for per-fleet admission WALs + compaction snapshots (empty = in-memory only)")
 		snapEvery  = flag.Int("snapshot-interval", 256, "WAL records per compaction snapshot (0 = never compact)")
 		walSync    = flag.String("wal-sync", "always", "WAL append sync policy: 'always' (fsync per admission) or 'os' (page cache)")
@@ -82,6 +84,9 @@ func main() {
 	}
 	if *walSync != fleet.SyncAlways && *walSync != fleet.SyncOS {
 		cli.Usagef("energyschedd", "-wal-sync must be 'always' or 'os', got %q", *walSync)
+	}
+	if *shards < -1 {
+		cli.Usagef("energyschedd", "-shards must be >= -1, got %d", *shards)
 	}
 	var seeds []server.FleetSeed
 	for _, tok := range strings.Split(*fleets, ",") {
@@ -108,11 +113,13 @@ func main() {
 		Failures:          *failures,
 		CheckpointSeconds: *checkpoint,
 		AdaptiveTarget:    *adaptive,
+		Shards:            *shards,
 		Pace:              paceVal,
 		SnapshotDir:       *snapDir,
 		WALDir:            *walDir,
 		SnapshotInterval:  *snapEvery,
 		WALSync:           *walSync,
+		MaxFleets:         *maxFleets,
 		Fleets:            seeds,
 		Logf:              log.Printf,
 	})

@@ -40,6 +40,7 @@ func main() {
 		failures   = flag.Bool("failures", false, "enable reliability-driven node failures")
 		checkpoint = flag.Float64("checkpoint", 0, "checkpoint interval in seconds (0 = off)")
 		adaptive   = flag.Float64("adaptive", 0, "dynamic-λ satisfaction target in percent (0 = static thresholds)")
+		shards     = flag.Int("shards", 0, "solver shards per scheduling round: 0 = serial, -1 = GOMAXPROCS, K = exactly K (results are byte-identical at any setting)")
 		eventsOut  = flag.String("events", "", "write the JSONL event log to this file")
 		jobsOut    = flag.String("jobs", "", "write per-job outcomes CSV to this file")
 		powerOut   = flag.String("power", "", "write the datacenter power trace CSV to this file")
@@ -63,6 +64,7 @@ func main() {
 		Failures:          *failures,
 		CheckpointSeconds: *checkpoint,
 		AdaptiveTarget:    *adaptive,
+		Shards:            *shards,
 	}
 	var closers []func() error
 	if *eventsOut != "" {

@@ -30,6 +30,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		step   = flag.Float64("step", 10, "λ grid step in percent")
 		policy = flag.String("policy", "SB", "policy to sweep: SB, SB2, BF, DBF")
+		shards = flag.Int("shards", 0, "solver shards per scheduling round: 0 = serial, -1 = GOMAXPROCS, K = exactly K (grid values are byte-identical at any setting)")
 		out    = flag.String("o", "", "output CSV file (empty = stdout)")
 	)
 	cli.Parse("sweep")
@@ -42,7 +43,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := experiments.SweepConfig{Policy: *policy}
+	cfg := experiments.SweepConfig{Policy: *policy, Shards: *shards}
 	for v := 10.0; v <= 90; v += *step {
 		cfg.LambdaMins = append(cfg.LambdaMins, v)
 	}

@@ -111,6 +111,13 @@ type Options struct {
 	// client satisfaction at this percentage (the paper's future-work
 	// dynamic thresholds).
 	AdaptiveTarget float64
+	// Shards selects the score-based solver's sharded parallel round
+	// engine: 0 runs the serial solver (default), -1 uses one shard
+	// per GOMAXPROCS, K >= 1 uses exactly K shards. The emitted
+	// actions — and therefore every metric — are byte-identical at any
+	// setting; sharding only changes the round's wall-clock time and
+	// peak matrix memory shape. Ignored by the baseline policies.
+	Shards int
 	// EventLog, when non-nil, receives every simulation event as it
 	// happens (arrivals, placements, migrations, boots, failures).
 	EventLog func(Event)
@@ -168,8 +175,13 @@ func (r Result) report() metrics.Report {
 }
 
 // NewPolicy constructs a policy by name. Exposed so callers can embed
-// policies in custom harnesses; Run calls it internally.
+// policies in custom harnesses; Run calls it internally (with
+// Options.Shards applied — this constructor keeps the serial solver).
 func NewPolicy(name string, seed int64, score *ScoreParams) (policy.Policy, error) {
+	return newPolicy(name, seed, score, 0)
+}
+
+func newPolicy(name string, seed int64, score *ScoreParams, shards int) (policy.Policy, error) {
 	applyScore := func(c core.Config) core.Config {
 		if score != nil {
 			c.Cempty = score.Cempty
@@ -178,6 +190,7 @@ func NewPolicy(name string, seed int64, score *ScoreParams) (policy.Policy, erro
 				c.THempty = score.THempty
 			}
 		}
+		c.Shards = shards
 		return c
 	}
 	switch name {
@@ -212,7 +225,7 @@ func NewSimulation(opts Options) (*datacenter.Simulation, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	pol, err := NewPolicy(opts.Policy, seed, opts.Score)
+	pol, err := newPolicy(opts.Policy, seed, opts.Score, opts.Shards)
 	if err != nil {
 		return nil, err
 	}

@@ -76,7 +76,20 @@ type Config struct {
 	// iteration, exactly as Algorithm 1 is written. Both solvers emit
 	// identical actions; the naive one exists as the reference oracle
 	// for differential testing and the complexity ablation.
+	// NaiveSolver takes precedence over Shards.
 	NaiveSolver bool
+	// Shards selects the sharded parallel round engine (sharded.go):
+	// host columns are partitioned into K shards (by node class, then
+	// round-robin), each with its own scoreBase slab and dirty-column
+	// tracking, and the matrix build plus per-move refreshes fan out
+	// over a worker per shard. Candidate moves are merged through a
+	// deterministic arbiter, so the chosen action sequence is
+	// byte-identical to the serial solver at any K.
+	//
+	//	 0  serial incremental solver (default)
+	//	-1  one shard per GOMAXPROCS
+	//	 K  exactly K shards (clamped to the host count)
+	Shards int
 }
 
 // DefaultConfig returns the paper's evaluation parameters (§V):
@@ -144,6 +157,9 @@ func (c Config) Validate() error {
 	}
 	if c.QueueScore <= 0 {
 		return fmt.Errorf("core: QueueScore must be positive")
+	}
+	if c.Shards < -1 {
+		return fmt.Errorf("core: Shards must be >= -1, got %d", c.Shards)
 	}
 	return nil
 }

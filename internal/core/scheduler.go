@@ -41,6 +41,11 @@ type Scheduler struct {
 	classes  []*cluster.Class
 	classOf  []int
 	timeMove []float64
+
+	// shd is the sharded engine's working state (Config.Shards != 0);
+	// see sharded.go. It keeps its own cross-round snapshot, so the
+	// serial and sharded paths never read each other's buffers.
+	shd shardedState
 }
 
 // SolverStats counts solver work for the complexity ablation.
@@ -78,6 +83,18 @@ type SolverStats struct {
 	// ReusedCells counts base-matrix cells carried across rounds
 	// without re-evaluation.
 	ReusedCells int
+
+	// --- sharded rounds (see sharded.go) ---
+
+	// ShardRounds counts rounds solved by the sharded parallel engine.
+	ShardRounds int
+	// LastShards is the shard count of the most recent sharded round
+	// (host-count clamped, GOMAXPROCS resolved).
+	LastShards int
+	// MaxSlabCells is the largest single score-matrix slab allocated so
+	// far: V×H for the serial solvers, V×⌈H/K⌉ per shard for the
+	// sharded engine — the per-shard (not monolithic) memory bound.
+	MaxSlabCells int
 }
 
 // NewScheduler builds a score-based scheduler with the given
@@ -179,9 +196,12 @@ func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
 	s := &sch.sh
 	s.reset(ctx.Now, hosts, cands)
 
-	if sch.cfg.NaiveSolver {
+	switch {
+	case sch.cfg.NaiveSolver:
 		sch.solveNaive(s, hosts, cands)
-	} else {
+	case sch.cfg.Shards != 0:
+		sch.solveSharded(s, hosts, cands)
+	default:
 		sch.solveIncremental(s, hosts, cands)
 	}
 

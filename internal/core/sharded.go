@@ -1,0 +1,552 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+
+	"energysched/internal/cluster"
+	"energysched/internal/vm"
+)
+
+// The sharded parallel round engine scales one fleet past the paper's
+// 100 nodes. The V×H score matrix — the memory and CPU bound of a
+// scheduling round — is partitioned by host column into K shards, each
+// owning a V×⌈H/K⌉ slab of the base and full matrices plus the per-VM
+// best-move records over its own columns. The expensive phases (the
+// round-start matrix build with its cross-round carry, and the
+// dirty-column/row refresh after every applied move) fan out over one
+// worker per shard; no shard ever touches another shard's slab or
+// records, and the shadow state is read-only while workers run, so the
+// fan-out is race-free by construction.
+//
+// Determinism: every matrix cell is a pure function of the shadow
+// state, so its value does not depend on which shard computes it. The
+// per-shard best-move records hold "lowest global node index achieving
+// the minimum finite score over my columns" — the same invariant the
+// serial solver maintains for the full row — and the arbiter merges
+// them with a stable ordering (lowest score first, then lowest node
+// index, earliest VM on iteration ties). The merged pick is therefore
+// exactly the serial solver's pick, and the chosen action sequence is
+// byte-identical to the serial incremental (and naive) solver at any
+// K, including K=1. The differential tests in sharded_test.go and the
+// datacenter full-simulation test enforce this.
+
+// shardRef locates a column's previous-round base values: the slab it
+// lived in and its local column index there. {-1, -1} means absent.
+type shardRef struct{ slab, col int }
+
+// solverShard owns one column partition of the score matrix.
+type solverShard struct {
+	idx  int
+	cols []int // global column (host) indices, ascending
+
+	base []float64 // V × len(cols) scoreBase slab
+	m    []float64 // V × len(cols) full-score slab
+
+	// Per-VM best-move records over this shard's columns only, with
+	// global node indices and the serial solver's invariants: bestNi is
+	// the lowest column achieving the minimum finite score excluding
+	// the VM's current assignment (-1 = none), bestSc that score,
+	// firstNi the lowest column with any finite score.
+	bestNi  []int
+	bestSc  []float64
+	firstNi []int
+
+	// Build scratch: this round's column keys and carry sources.
+	keys []colKey
+	src  []shardRef
+
+	// stats is the shard's private counter set; workers only ever
+	// touch their own, and the round folds them into Scheduler.Stats.
+	stats SolverStats
+}
+
+// crossShardState is the sharded engine's cross-round snapshot: the
+// previous round's per-shard base slabs plus the row and column keys
+// they were computed from. Kept separate from the serial crossState so
+// switching Shards between rounds can never read a foreign buffer.
+type crossShardState struct {
+	valid  bool
+	slabs  [][]float64
+	widths []int
+	keys   [][]colKey // per slab, per local column
+	rows   []rowKey   // previous rows, ascending VM ID
+	colOf  []shardRef // node ID -> previous slab/local
+}
+
+// shardedState is the engine's working state on the Scheduler.
+type shardedState struct {
+	k        int // this round's shard count
+	shards   []*solverShard
+	colShard []int // global column -> owning shard
+	colLocal []int // global column -> local index in the owner
+
+	cross crossShardState
+
+	// Round-constant time-dependent halves, precomputed once so every
+	// shard composes cells with the exact float grouping of the serial
+	// build: stay[vi] is scoreTimeStay, timeMove[vi*C+g] is
+	// scoreTimeMove for class g.
+	stay     []float64
+	timeMove []float64
+}
+
+// shardCount resolves Config.Shards for a round over h hosts.
+func (c Config) shardCount(h int) int {
+	k := c.Shards
+	if k < 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > h {
+		k = h
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// runShards executes fn once per shard, in parallel when there is
+// parallelism to be had.
+func (st *shardedState) runShards(fn func(sh *solverShard)) {
+	shards := st.shards[:st.k]
+	if len(shards) == 1 {
+		fn(shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for _, sh := range shards {
+		go func(sh *solverShard) {
+			defer wg.Done()
+			fn(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// partitionColumns deals the host columns to k shards: hosts are
+// grouped by node class (first-appearance order, via sch.classOf) and
+// each group is dealt round-robin, with the cursor continuing across
+// groups so shard sizes stay within one of each other. Grouping by
+// class first keeps every shard's class mix representative, so the
+// per-move column refreshes — whose cost follows the column's class
+// feasibility profile — stay balanced across workers.
+func (sch *Scheduler) partitionColumns(hosts []*cluster.Node, k int) {
+	st := &sch.shd
+	st.k = k
+	for len(st.shards) < k {
+		st.shards = append(st.shards, &solverShard{idx: len(st.shards)})
+	}
+	for i, sh := range st.shards[:k] {
+		sh.idx = i
+		sh.cols = sh.cols[:0]
+	}
+	H := len(hosts)
+	st.colShard = grow(st.colShard, H)
+	st.colLocal = grow(st.colLocal, H)
+	cursor := 0
+	for g := range sch.classes {
+		for ni := 0; ni < H; ni++ {
+			if sch.classOf[ni] != g {
+				continue
+			}
+			sh := st.shards[cursor%k]
+			cursor++
+			sh.cols = append(sh.cols, ni)
+		}
+	}
+	for i, sh := range st.shards[:k] {
+		slices.Sort(sh.cols) // ascending global order = serial scan order
+		for li, ni := range sh.cols {
+			st.colShard[ni] = i
+			st.colLocal[ni] = li
+		}
+	}
+}
+
+// cell returns the cached full score of (global column ni, row vi).
+func (st *shardedState) cell(vi, ni int) float64 {
+	sh := st.shards[st.colShard[ni]]
+	return sh.m[vi*len(sh.cols)+st.colLocal[ni]]
+}
+
+// solveSharded runs the hill climber against the sharded matrix. It
+// applies exactly the same sequence of moves as solveIncremental and
+// solveNaive.
+func (sch *Scheduler) solveSharded(s *shadow, hosts []*cluster.Node, cands []*vm.VM) {
+	V := len(cands)
+	st := &sch.shd
+	sch.buildSharded(s, hosts, cands)
+
+	limit := sch.iterationLimit(V)
+	const eps = 1e-9
+	moves := 0
+	for iter := 0; iter < limit; iter++ {
+		// The arbiter: merge the per-shard candidate moves into the
+		// globally best one. Ordering is deterministic — lowest score
+		// wins, ties broken by lowest node index within a VM and by
+		// earliest VM across VMs (strict < on the scan) — which is
+		// exactly the serial solver's full-matrix scan order.
+		bestVI, bestNI := -1, -1
+		bestDiff := -eps
+		for vi := 0; vi < V; vi++ {
+			cur := sch.cfg.QueueScore
+			if a := s.assign[vi]; a >= 0 {
+				cur = st.cell(vi, a)
+			}
+			var ni int
+			var diff float64
+			if math.IsInf(cur, 1) {
+				// Current host infeasible: any feasible target is an
+				// infinite improvement; the naive scan keeps the first.
+				ni = -1
+				for _, sh := range st.shards[:st.k] {
+					if f := sh.firstNi[vi]; f >= 0 && (ni < 0 || f < ni) {
+						ni = f
+					}
+				}
+				if ni < 0 {
+					continue
+				}
+				diff = math.Inf(-1)
+			} else {
+				ni = -1
+				sc := math.Inf(1)
+				for _, sh := range st.shards[:st.k] {
+					if b := sh.bestNi[vi]; b >= 0 && (sh.bestSc[vi] < sc || (sh.bestSc[vi] == sc && b < ni)) {
+						sc, ni = sh.bestSc[vi], b
+					}
+				}
+				if ni < 0 {
+					continue
+				}
+				diff = sc - cur
+				threshold := -eps
+				if cands[vi].State != vm.Queued {
+					// Migration hysteresis (queued VMs are exempt).
+					threshold = -sch.cfg.MigrationGainMin
+				}
+				if diff > threshold {
+					continue
+				}
+			}
+			if diff < bestDiff {
+				bestDiff = diff
+				bestVI, bestNI = vi, ni
+			}
+		}
+		if bestVI < 0 {
+			break // no negative values left: suboptimal solution found
+		}
+		from := s.assign[bestVI]
+		s.move(bestVI, bestNI)
+		moves++
+		if iter == limit-1 {
+			sch.Stats.LimitHits++
+		}
+		// Fan the dirty region out: each shard refreshes the endpoint
+		// columns it owns, then its slice of the moved VM's row, then
+		// rescans its record for that VM — all against the already
+		// updated (and now read-only) shadow.
+		st.runShards(func(sh *solverShard) {
+			if from >= 0 && st.colShard[from] == sh.idx {
+				sh.refreshColumn(sch, s, bestVI, st.colLocal[from])
+			}
+			if st.colShard[bestNI] == sh.idx {
+				sh.refreshColumn(sch, s, bestVI, st.colLocal[bestNI])
+			}
+			w := len(sh.cols)
+			row := bestVI * w
+			for li, ni := range sh.cols {
+				if ni == from || ni == bestNI {
+					continue // the column refresh already re-scored these
+				}
+				sh.stats.ScoreEvals++
+				sh.m[row+li] = sch.score(s, ni, bestVI)
+			}
+			sh.rescanRow(s.assign[bestVI], bestVI)
+		})
+	}
+	sch.Stats.Moves += moves
+	sch.Stats.ShardRounds++
+	sch.Stats.LastShards = st.k
+	for _, sh := range st.shards[:st.k] {
+		sch.Stats.ScoreEvals += sh.stats.ScoreEvals
+		sch.Stats.ReusedCells += sh.stats.ReusedCells
+		sch.Stats.StaleCols += sh.stats.StaleCols
+		sch.Stats.ColRefreshes += sh.stats.ColRefreshes
+		sch.Stats.RowRescans += sh.stats.RowRescans
+		sh.stats = SolverStats{}
+	}
+}
+
+// buildSharded fills every shard's slabs and best-move records for the
+// round, carrying the time-independent half of unchanged cells from
+// the previous round's snapshot (wherever the column lived then), and
+// publishes this round's snapshot.
+func (sch *Scheduler) buildSharded(s *shadow, hosts []*cluster.Node, cands []*vm.VM) {
+	V, H := len(cands), len(hosts)
+	st := &sch.shd
+	cr := &st.cross
+	carry := cr.valid && !sch.cfg.FreshMatrix
+
+	sch.collectClasses(hosts)
+	sch.partitionColumns(hosts, sch.cfg.shardCount(H))
+
+	// Row keys: identical to the serial build (both candidate lists are
+	// sorted by VM ID, so one merge scan pairs current rows with the
+	// previous snapshot's).
+	sch.nextRows = grow(sch.nextRows, V)
+	sch.rowSrc = grow(sch.rowSrc, V)
+	staleRows := 0
+	pi := 0
+	for vi, v := range cands {
+		initial := -1
+		if a := s.assign[vi]; a >= 0 {
+			initial = hosts[a].ID
+		}
+		k := rowKey{
+			vm: v, epoch: v.Epoch,
+			cpu: v.Req.CPU, mem: v.Req.Mem, arch: v.Req.Arch, hyp: v.Req.Hypervisor,
+			ftol: v.FaultTolerance, initial: initial,
+		}
+		sch.nextRows[vi] = k
+		src := -1
+		if carry {
+			for pi < len(cr.rows) && cr.rows[pi].vm.ID < v.ID {
+				pi++
+			}
+			if pi < len(cr.rows) && cr.rows[pi] == k {
+				src = pi
+			}
+		}
+		sch.rowSrc[vi] = src
+		if src < 0 {
+			staleRows++
+		}
+	}
+
+	// The time-dependent halves are round-constant (they depend on the
+	// node only through its class and the stay/move distinction), so
+	// compute them once up front; shards then compose cells with the
+	// serial build's exact float grouping (base + time).
+	C := len(sch.classes)
+	st.stay = grow(st.stay, V)
+	st.timeMove = grow(st.timeMove, V*C)
+	for vi := range cands {
+		st.stay[vi] = 0
+		if s.assign[vi] >= 0 {
+			st.stay[vi] = sch.scoreTimeStay(s, vi)
+		}
+		for g, cl := range sch.classes {
+			st.timeMove[vi*C+g] = sch.scoreTimeMove(s, vi, cl)
+		}
+	}
+
+	maxSlab := 0
+	for _, sh := range st.shards[:st.k] {
+		if cells := V * len(sh.cols); cells > maxSlab {
+			maxSlab = cells
+		}
+	}
+	if maxSlab > sch.Stats.MaxSlabCells {
+		sch.Stats.MaxSlabCells = maxSlab
+	}
+
+	st.runShards(func(sh *solverShard) { sh.build(sch, s, hosts, cands, carry) })
+
+	for _, sh := range st.shards[:st.k] {
+		if carry {
+			sch.Stats.StaleCols += sh.stats.StaleCols
+		}
+		sh.stats.StaleCols = 0
+		sch.Stats.ScoreEvals += sh.stats.ScoreEvals
+		sch.Stats.ReusedCells += sh.stats.ReusedCells
+		sh.stats.ScoreEvals, sh.stats.ReusedCells = 0, 0
+	}
+	if carry {
+		sch.Stats.CarryRounds++
+		sch.Stats.StaleRows += staleRows
+	}
+
+	// Publish this round's snapshot by swapping buffers with the
+	// previous one (the hill climb only mutates sh.m; base holds
+	// round-start values, exactly like the serial build).
+	cr.slabs = grow(cr.slabs, st.k)
+	cr.widths = grow(cr.widths, st.k)
+	cr.keys = grow(cr.keys, st.k)
+	for i, sh := range st.shards[:st.k] {
+		cr.slabs[i], sh.base = sh.base, cr.slabs[i]
+		cr.keys[i], sh.keys = sh.keys, cr.keys[i]
+		cr.widths[i] = len(sh.cols)
+	}
+	cr.rows, sch.nextRows = sch.nextRows, cr.rows
+	maxID := 0
+	for _, n := range hosts {
+		if n.ID >= maxID {
+			maxID = n.ID
+		}
+	}
+	cr.colOf = grow(cr.colOf, maxID+1)
+	for i := range cr.colOf {
+		cr.colOf[i] = shardRef{-1, -1}
+	}
+	for i, sh := range st.shards[:st.k] {
+		for li, ni := range sh.cols {
+			cr.colOf[hosts[ni].ID] = shardRef{i, li}
+		}
+	}
+	cr.valid = true
+}
+
+// build fills one shard's slabs and records. Runs on a worker; touches
+// only the shard's own buffers plus read-only scheduler/shadow state.
+func (sh *solverShard) build(sch *Scheduler, s *shadow, hosts []*cluster.Node, cands []*vm.VM, carry bool) {
+	st := &sch.shd
+	cr := &st.cross
+	V, w, C := len(cands), len(sh.cols), len(sch.classes)
+	sh.base = grow(sh.base, V*w)
+	sh.m = grow(sh.m, V*w)
+	sh.bestNi = grow(sh.bestNi, V)
+	sh.bestSc = grow(sh.bestSc, V)
+	sh.firstNi = grow(sh.firstNi, V)
+	sh.keys = grow(sh.keys, w)
+	sh.src = grow(sh.src, w)
+
+	// Column keys: snapshot each owned host's scoreBase inputs and
+	// match against wherever that node's column lived last round.
+	for li, ni := range sh.cols {
+		n := hosts[ni]
+		k := colKey{
+			node: n, class: n.Class, epoch: n.Epoch, state: n.State,
+			cpu: s.cpu[ni], mem: s.mem[ni], count: s.count[ni],
+			creating: n.CreatingOps, migrating: n.MigratingOps, rel: n.Reliability,
+		}
+		sh.keys[li] = k
+		src := shardRef{-1, -1}
+		if carry && n.ID >= 0 && n.ID < len(cr.colOf) {
+			if ref := cr.colOf[n.ID]; ref.slab >= 0 && cr.keys[ref.slab][ref.col] == k {
+				src = ref
+			}
+		}
+		sh.src[li] = src
+		if src.slab < 0 {
+			sh.stats.StaleCols++
+		}
+	}
+
+	for vi := range cands {
+		row := vi * w
+		assign := s.assign[vi]
+		prow := sch.rowSrc[vi]
+		best, bestn, first := math.Inf(1), -1, -1
+		for li, ni := range sh.cols {
+			var b float64
+			if src := sh.src[li]; prow >= 0 && src.slab >= 0 {
+				b = cr.slabs[src.slab][prow*cr.widths[src.slab]+src.col]
+				sh.stats.ReusedCells++
+			} else {
+				b = sch.scoreBase(s, ni, vi)
+				sh.stats.ScoreEvals++
+			}
+			sh.base[row+li] = b
+			sc := b
+			if !math.IsInf(b, 1) {
+				t := st.stay[vi]
+				if ni != assign {
+					t = st.timeMove[vi*C+sch.classOf[ni]]
+				}
+				if math.IsInf(t, 1) {
+					sc = t
+				} else {
+					sc = b + t
+				}
+			}
+			sh.m[row+li] = sc
+			if ni == assign || math.IsInf(sc, 1) {
+				continue
+			}
+			if first < 0 {
+				first = ni
+			}
+			if sc < best {
+				best, bestn = sc, ni
+			}
+		}
+		sh.bestSc[vi], sh.bestNi[vi], sh.firstNi[vi] = best, bestn, first
+	}
+}
+
+// refreshColumn re-scores the shard's local column li for every VM and
+// repairs the per-VM records it invalidates — the serial solver's
+// refreshColumn restricted to one shard. The maintained invariant is
+// identical, so the merged records stay equal to a full-row scan.
+func (sh *solverShard) refreshColumn(sch *Scheduler, s *shadow, movedVI, li int) {
+	sh.stats.ColRefreshes++
+	c := sh.cols[li]
+	V, w := len(s.vms), len(sh.cols)
+	for vj := 0; vj < V; vj++ {
+		idx := vj*w + li
+		old := sh.m[idx]
+		sh.stats.ScoreEvals++
+		sc := sch.score(s, c, vj)
+		sh.m[idx] = sc
+		if sc == old {
+			continue // unchanged (including +Inf staying +Inf)
+		}
+		if vj == movedVI {
+			continue // full row refresh + rescan follows in the caller
+		}
+		if c == s.assign[vj] {
+			continue // the cell is vj's current-host cost, not a target
+		}
+		if c == sh.bestNi[vj] {
+			if sc <= sh.bestSc[vj] {
+				sh.bestSc[vj] = sc
+				continue
+			}
+			sh.rescanRow(s.assign[vj], vj)
+			continue
+		}
+		if math.IsInf(sc, 1) {
+			if c == sh.firstNi[vj] {
+				sh.rescanRow(s.assign[vj], vj)
+			}
+			continue
+		}
+		if sh.firstNi[vj] < 0 || c < sh.firstNi[vj] {
+			sh.firstNi[vj] = c
+		}
+		if sh.bestNi[vj] < 0 || sc < sh.bestSc[vj] || (sc == sh.bestSc[vj] && c < sh.bestNi[vj]) {
+			sh.bestNi[vj], sh.bestSc[vj] = c, sc
+		}
+	}
+}
+
+// rescanRow rebuilds VM vi's record from the shard's cached row (no
+// score evaluations), excluding the current assignment.
+func (sh *solverShard) rescanRow(assign, vi int) {
+	sh.stats.RowRescans++
+	w := len(sh.cols)
+	best, bestn, first := math.Inf(1), -1, -1
+	row := vi * w
+	for li, ni := range sh.cols {
+		if ni == assign {
+			continue
+		}
+		sc := sh.m[row+li]
+		if math.IsInf(sc, 1) {
+			continue
+		}
+		if first < 0 {
+			first = ni
+		}
+		if sc < best {
+			best, bestn = sc, ni
+		}
+	}
+	sh.bestSc[vi], sh.bestNi[vi], sh.firstNi[vi] = best, bestn, first
+}

@@ -245,27 +245,14 @@ func (sch *Scheduler) buildMatrix(s *shadow, hosts []*cluster.Node, cands []*vm.
 		}
 	}
 
-	// Distinct node classes this round, for the per-class time terms.
-	sch.classes = sch.classes[:0]
-	sch.classOf = grow(sch.classOf, H)
-	for ni, n := range hosts {
-		idx := -1
-		for i, cl := range sch.classes {
-			if cl == n.Class {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			idx = len(sch.classes)
-			sch.classes = append(sch.classes, n.Class)
-		}
-		sch.classOf[ni] = idx
-	}
+	sch.collectClasses(hosts)
 
 	// Fill base and full matrices, tracking each row's best-move
 	// record in the same pass.
 	sch.nextBase = grow(sch.nextBase, V*H)
+	if V*H > sch.Stats.MaxSlabCells {
+		sch.Stats.MaxSlabCells = V * H
+	}
 	sch.timeMove = grow(sch.timeMove, len(sch.classes))
 	evals, reused := 0, 0
 	for vi := range cands {
@@ -350,6 +337,28 @@ func (sch *Scheduler) buildMatrix(s *shadow, hosts []*cluster.Node, cands []*vm.
 		cr.colOf[n.ID] = ni
 	}
 	cr.valid = true
+}
+
+// collectClasses gathers the round's distinct node classes
+// (first-appearance order) into sch.classes and fills sch.classOf with
+// each host's class index, for the once-per-⟨VM, class⟩ time terms.
+func (sch *Scheduler) collectClasses(hosts []*cluster.Node) {
+	sch.classes = sch.classes[:0]
+	sch.classOf = grow(sch.classOf, len(hosts))
+	for ni, n := range hosts {
+		idx := -1
+		for i, cl := range sch.classes {
+			if cl == n.Class {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(sch.classes)
+			sch.classes = append(sch.classes, n.Class)
+		}
+		sch.classOf[ni] = idx
+	}
 }
 
 // refreshAfterMove re-scores the dirty region after move(movedVI,

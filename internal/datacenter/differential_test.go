@@ -1,6 +1,8 @@
 package datacenter
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"energysched/internal/core"
@@ -13,9 +15,11 @@ import (
 // solver's per-round differential tests: a full generated-trace
 // simulation must produce a bit-identical report whether the score
 // matrix is carried across rounds (default), rebuilt from scratch
-// every round (FreshMatrix), or evaluated by the naive reference
-// solver. Any stale cross-round cache entry would change a placement,
-// fork the trajectory, and show up in the paper metrics.
+// every round (FreshMatrix), evaluated by the naive reference solver,
+// or solved by the sharded parallel engine at any shard count. Any
+// stale cross-round cache entry — or any nondeterminism in the sharded
+// arbiter — would change a placement, fork the trajectory, and show up
+// in the paper metrics.
 func TestSolverFullSimDifferential(t *testing.T) {
 	gen := workload.DefaultGeneratorConfig()
 	gen.Horizon = 24 * 3600
@@ -51,6 +55,19 @@ func TestSolverFullSimDifferential(t *testing.T) {
 	}
 	if carry != naive {
 		t.Errorf("incremental solver diverged from the naive oracle:\ncarry: %+v\nnaive: %+v", carry, naive)
+	}
+
+	for _, k := range []int{1, 2, 4, 7, -1} {
+		k := k
+		label := fmt.Sprintf("K=%d", k)
+		if k == -1 {
+			label = fmt.Sprintf("K=GOMAXPROCS(%d)", runtime.GOMAXPROCS(0))
+		}
+		sharded := run(func(c *core.Config) { c.Shards = k })
+		if carry != sharded {
+			t.Errorf("sharded engine at %s diverged from the serial solver:\nserial:  %+v\nsharded: %+v",
+				label, carry, sharded)
+		}
 	}
 }
 

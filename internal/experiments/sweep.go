@@ -29,6 +29,11 @@ type SweepConfig struct {
 	// Policy names the scheduler to sweep ("SB" in the paper — "the
 	// one that makes a more aggressive consolidation").
 	Policy string
+	// Shards selects the score-based solver's sharded parallel round
+	// engine (0 = serial, -1 = GOMAXPROCS, K >= 1 = K shards). Sweep
+	// results are byte-identical at any setting; large grids just
+	// finish sooner. Ignored by the baseline policies.
+	Shards int
 }
 
 // DefaultSweepConfig returns the paper's grid.
@@ -51,7 +56,7 @@ func LambdaSweep(cfg SweepConfig, trace *workload.Trace) ([]SweepPoint, error) {
 			if lmin >= lmax {
 				continue
 			}
-			pol, err := newSweepPolicy(cfg.Policy)
+			pol, err := newSweepPolicy(cfg.Policy, cfg.Shards)
 			if err != nil {
 				return nil, err
 			}
@@ -82,12 +87,16 @@ func LambdaSweep(cfg SweepConfig, trace *workload.Trace) ([]SweepPoint, error) {
 	return out, nil
 }
 
-func newSweepPolicy(name string) (policy.Policy, error) {
+func newSweepPolicy(name string, shards int) (policy.Policy, error) {
+	mk := func(c core.Config) (policy.Policy, error) {
+		c.Shards = shards
+		return core.NewScheduler(c)
+	}
 	switch name {
 	case "", "SB":
-		return core.NewScheduler(core.SBConfig())
+		return mk(core.SBConfig())
 	case "SB2":
-		return core.NewScheduler(core.SB2Config())
+		return mk(core.SB2Config())
 	case "BF":
 		return policy.NewBackfilling(), nil
 	case "DBF":

@@ -48,6 +48,11 @@ type Config struct {
 	CheckpointSeconds float64
 	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
 	AdaptiveTarget float64
+	// Shards selects the solver's sharded parallel round engine
+	// (0 = serial, -1 = GOMAXPROCS, K >= 1 = K shards). Actions and
+	// reports are byte-identical at any setting, so this is a pure
+	// performance knob — replay determinism does not depend on it.
+	Shards int
 	// Classes overrides the fleet (nil = the paper's 100 nodes).
 	Classes []energysched.NodeClass
 	// Pace is the virtual-seconds-per-wall-second acceleration; <= 0
@@ -357,6 +362,7 @@ func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
 		Failures:          f.cfg.Failures,
 		CheckpointSeconds: f.cfg.CheckpointSeconds,
 		AdaptiveTarget:    f.cfg.AdaptiveTarget,
+		Shards:            f.cfg.Shards,
 		Classes:           f.cfg.Classes,
 		EventLog: func(e energysched.Event) {
 			if !f.replaying {
@@ -807,6 +813,7 @@ func (f *Fleet) adoptSnapshotConfig(sc snapshotConfig) {
 	f.cfg.Failures = sc.Failures
 	f.cfg.CheckpointSeconds = sc.CheckpointSeconds
 	f.cfg.AdaptiveTarget = sc.AdaptiveTarget
+	f.cfg.Shards = sc.Shards
 	f.cfg.Classes = sc.Classes
 	f.cfg.Score = nil
 	if sc.HasScore {

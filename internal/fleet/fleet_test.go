@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"errors"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
@@ -300,5 +302,59 @@ func TestRecoveryAdoptsRestoredConfig(t *testing.T) {
 	}
 	if info.Policy != "BF" || info.Seed != 5 || info.Jobs != 3 {
 		t.Fatalf("recovery ignored the restored config: %+v", info)
+	}
+}
+
+// TestManagerMaxFleets pins the registry cap: Create returns 429 once
+// the cap is reached, deleting a fleet frees a slot, SetMaxFleets(0)
+// lifts the cap, and fleets present before the cap was installed are
+// never evicted by it.
+func TestManagerMaxFleets(t *testing.T) {
+	mgr, err := NewManager(Options{MaxFleets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	if _, err := mgr.Create("a", Config{Policy: "BF"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("b", Config{Policy: "BF"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Create("c", Config{Policy: "BF"})
+	if err == nil {
+		t.Fatal("third fleet admitted past a cap of 2")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Status != http.StatusTooManyRequests {
+		t.Fatalf("cap error = %v, want status 429", err)
+	}
+	if mgr.Len() != 2 {
+		t.Fatalf("registry len = %d after refused create, want 2", mgr.Len())
+	}
+
+	// A freed slot is reusable.
+	if err := mgr.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("c", Config{Policy: "BF"}); err != nil {
+		t.Fatalf("create after delete: %v", err)
+	}
+
+	// Lowering the cap below the current population refuses new
+	// creates but keeps existing fleets.
+	mgr.SetMaxFleets(1)
+	if _, err := mgr.Create("d", Config{Policy: "BF"}); err == nil {
+		t.Fatal("create admitted with registry above the cap")
+	}
+	if mgr.Len() != 2 {
+		t.Fatalf("cap evicted fleets: len = %d, want 2", mgr.Len())
+	}
+
+	// 0 = unlimited.
+	mgr.SetMaxFleets(0)
+	if _, err := mgr.Create("d", Config{Policy: "BF"}); err != nil {
+		t.Fatalf("create after lifting the cap: %v", err)
 	}
 }

@@ -26,6 +26,7 @@ import (
 //	    snapshot.json  last compaction snapshot
 type Manager struct {
 	dir  string
+	max  int
 	logf func(format string, args ...interface{})
 
 	mu      sync.RWMutex
@@ -38,6 +39,14 @@ type Manager struct {
 type Options struct {
 	// Dir is the durable root; empty runs every fleet in-memory only.
 	Dir string
+	// MaxFleets caps the number of registered fleets (0 = unlimited).
+	// Create returns 429 at the cap — every fleet is a full simulation
+	// with its own event loop, so an unbounded registry lets any
+	// network peer exhaust the process. Fleets recovered from the
+	// manifest are never refused (they were admitted under an earlier
+	// cap and hold durable state), but no new fleet is admitted while
+	// the registry is at or above the cap.
+	MaxFleets int
 	// Logf receives manager and fleet log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -79,6 +88,7 @@ func toManifestConfig(c Config) manifestConfig {
 			Failures:          c.Failures,
 			CheckpointSeconds: c.CheckpointSeconds,
 			AdaptiveTarget:    c.AdaptiveTarget,
+			Shards:            c.Shards,
 			Classes:           c.Classes,
 		},
 		Pace:             c.Pace,
@@ -105,6 +115,7 @@ func (mc manifestConfig) config() Config {
 		Failures:          mc.Failures,
 		CheckpointSeconds: mc.CheckpointSeconds,
 		AdaptiveTarget:    mc.AdaptiveTarget,
+		Shards:            mc.Shards,
 		Classes:           mc.Classes,
 		Pace:              mc.Pace,
 		SnapshotDir:       mc.SnapshotDir,
@@ -135,7 +146,7 @@ func ValidateID(id string) error {
 // every fleet recorded in the manifest.
 func NewManager(opts Options) (*Manager, error) {
 	m := &Manager{
-		dir: opts.Dir, logf: opts.Logf,
+		dir: opts.Dir, max: opts.MaxFleets, logf: opts.Logf,
 		fleets:  make(map[string]*Fleet),
 		pending: make(map[string]struct{}),
 	}
@@ -161,6 +172,15 @@ func NewManager(opts Options) (*Manager, error) {
 		m.fleets[e.ID] = f
 	}
 	return m, nil
+}
+
+// SetMaxFleets installs (or clears, with 0) the registry cap. Exposed
+// so the server can exempt its startup seeds: recovery and seeding run
+// uncapped, then the cap gates every API-driven Create.
+func (m *Manager) SetMaxFleets(n int) {
+	m.mu.Lock()
+	m.max = n
+	m.mu.Unlock()
 }
 
 // Has reports whether a fleet with this id exists.
@@ -204,6 +224,11 @@ func (m *Manager) Create(id string, cfg Config) (*Fleet, error) {
 	if _, ok := m.pending[id]; ok {
 		m.mu.Unlock()
 		return nil, errf(http.StatusConflict, "fleet %q is being created", id)
+	}
+	if m.max > 0 && len(m.fleets)+len(m.pending) >= m.max {
+		m.mu.Unlock()
+		return nil, errf(http.StatusTooManyRequests,
+			"fleet registry is full (%d of %d); delete a fleet or raise -max-fleets", len(m.fleets), m.max)
 	}
 	m.pending[id] = struct{}{}
 	m.mu.Unlock()

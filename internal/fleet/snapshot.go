@@ -53,6 +53,7 @@ type snapshotConfig struct {
 	Failures          bool                    `json:"failures,omitempty"`
 	CheckpointSeconds float64                 `json:"checkpoint_s,omitempty"`
 	AdaptiveTarget    float64                 `json:"adaptive_target,omitempty"`
+	Shards            int                     `json:"shards,omitempty"`
 	Classes           []energysched.NodeClass `json:"classes,omitempty"`
 }
 
@@ -111,6 +112,7 @@ func (f *Fleet) snapshotConfig() snapshotConfig {
 		Failures:          f.cfg.Failures,
 		CheckpointSeconds: f.cfg.CheckpointSeconds,
 		AdaptiveTarget:    f.cfg.AdaptiveTarget,
+		Shards:            f.cfg.Shards,
 		Classes:           f.cfg.Classes,
 	}
 	if f.cfg.Score != nil {

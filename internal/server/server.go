@@ -60,6 +60,10 @@ type Config struct {
 	CheckpointSeconds float64
 	// AdaptiveTarget > 0 enables dynamic λmin adjustment.
 	AdaptiveTarget float64
+	// Shards selects the solver's sharded parallel round engine
+	// (0 = serial, -1 = GOMAXPROCS, K >= 1 = K shards); fleets inherit
+	// it unless their FleetSpec overrides.
+	Shards int
 	// Classes overrides the fleet hardware (nil = the paper's 100
 	// nodes).
 	Classes []energysched.NodeClass
@@ -82,6 +86,10 @@ type Config struct {
 	// WALSync is the WAL append sync policy: fleet.SyncAlways
 	// (default) or fleet.SyncOS.
 	WALSync string
+	// MaxFleets caps the fleet registry (0 = unlimited): POST
+	// /v1/fleets returns 429 once the daemon hosts this many fleets.
+	// Startup seeds and manifest-recovered fleets are exempt.
+	MaxFleets int
 	// Fleets are additional fleets to ensure at startup, next to
 	// DefaultFleet (fleets recovered from the WAL manifest win).
 	Fleets []FleetSeed
@@ -119,6 +127,9 @@ type Server struct {
 // http.Server and Close the daemon on shutdown.
 func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	// The cap is installed after the startup seeds: operator-named
+	// fleets (and manifest-recovered ones) must come up even when they
+	// meet or exceed -max-fleets; the cap gates API-driven creation.
 	mgr, err := fleet.NewManager(fleet.Options{Dir: cfg.WALDir, Logf: cfg.Logf})
 	if err != nil {
 		return nil, err
@@ -135,6 +146,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: creating fleet %s: %w", seed.ID, err)
 		}
 	}
+	mgr.SetMaxFleets(s.cfg.MaxFleets)
 	s.routes()
 	return s, nil
 }
@@ -151,6 +163,7 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 		Failures:          s.cfg.Failures,
 		CheckpointSeconds: s.cfg.CheckpointSeconds,
 		AdaptiveTarget:    s.cfg.AdaptiveTarget,
+		Shards:            s.cfg.Shards,
 		Classes:           s.cfg.Classes,
 		Pace:              s.cfg.Pace,
 		SnapshotDir:       s.cfg.SnapshotDir,
@@ -187,6 +200,9 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 	}
 	if spec.AdaptiveTarget > 0 {
 		fc.AdaptiveTarget = spec.AdaptiveTarget
+	}
+	if spec.Shards != 0 {
+		fc.Shards = spec.Shards
 	}
 	if spec.SnapshotInterval > 0 {
 		fc.SnapshotInterval = spec.SnapshotInterval
@@ -276,6 +292,13 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := fleet.ValidateID(spec.ID); err != nil {
 		writeErr(w, err)
+		return
+	}
+	if spec.Shards < -1 {
+		// Reject here: letting it reach core.Config.Validate would
+		// surface as a 500 after the fleet's durable dir was created.
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest,
+			Msg: fmt.Sprintf("shards must be >= -1, got %d", spec.Shards)})
 		return
 	}
 	f, err := s.mgr.Create(spec.ID, s.fleetConfig(spec.ID, spec))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -785,5 +787,155 @@ func TestServerWALRestartReproducesReports(t *testing.T) {
 	want = append(want, '\n')
 	if !bytes.Equal(got, want) {
 		t.Fatalf("restarted run diverged from offline:\n got %s\nwant %s", got, want)
+	}
+}
+
+// --- PR 5: alias-route parity ---
+
+// fetchBody GETs a path and returns status + raw body.
+func fetchBody(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// postBody POSTs a payload and returns status + raw body.
+func postBody(t *testing.T, base, path, payload string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// readSSETranscript consumes an SSE stream until want events have been
+// replayed, returning the raw transcript (ids, event names, data).
+func readSSETranscript(t *testing.T, base, path string, want uint64) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	var transcript strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var last uint64
+	for sc.Scan() {
+		line := sc.Text()
+		transcript.WriteString(line)
+		transcript.WriteByte('\n')
+		if strings.HasPrefix(line, "id:") {
+			n, err := strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			last = n
+		}
+		if last >= want && strings.TrimSpace(line) == "" {
+			break // final event of the replay fully read
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading %s: %v (after %q)", path, err, transcript.String())
+	}
+	return transcript.String()
+}
+
+// TestAliasRoutesByteIdenticalToNamespaced pins the PR 4 compatibility
+// contract from the outside: every PR 3 route (/v1/jobs, /v1/cluster,
+// /v1/report, /v1/drain, /v1/jobs/{id}) is an alias of the default
+// fleet's namespaced route, returning byte-identical responses —
+// including the SSE replay of /v1/events and error bodies.
+func TestAliasRoutesByteIdenticalToNamespaced(t *testing.T) {
+	srv, hs, _ := newTestServer(t, Config{Policy: "SB", Seed: 1})
+
+	// Mutate through the alias route once: a small batch plus a single
+	// submit, then drain through the namespaced route.
+	if code, body := postBody(t, hs.URL, "/v1/jobs", `[
+		{"cpu_pct":200,"mem_units":10,"duration_s":1200,"submit_s":0},
+		{"cpu_pct":100,"mem_units":5,"duration_s":600,"submit_s":60}]`); code != http.StatusAccepted {
+		t.Fatalf("batch submit: %d %s", code, body)
+	}
+	if code, body := postBody(t, hs.URL, "/v1/fleets/default/jobs",
+		`{"cpu_pct":100,"mem_units":5,"duration_s":900,"submit_s":120}`); code != http.StatusAccepted {
+		t.Fatalf("namespaced submit: %d %s", code, body)
+	}
+	nsCode, nsDrain := postBody(t, hs.URL, "/v1/fleets/default/drain", "")
+	if nsCode != http.StatusOK {
+		t.Fatalf("namespaced drain: %d %s", nsCode, nsDrain)
+	}
+	// The second drain returns the cached final report: the alias body
+	// must be byte-identical to the namespaced one.
+	if aCode, aDrain := postBody(t, hs.URL, "/v1/drain", ""); aCode != nsCode || aDrain != nsDrain {
+		t.Errorf("drain diverged: alias (%d) %q vs namespaced (%d) %q", aCode, aDrain, nsCode, nsDrain)
+	}
+
+	// Every read route must return byte-identical bodies on both paths.
+	for _, path := range []string{"/jobs", "/jobs/0", "/jobs/99", "/cluster", "/report"} {
+		aCode, alias := fetchBody(t, hs.URL, "/v1"+path)
+		nCode, namespaced := fetchBody(t, hs.URL, "/v1/fleets/default"+path)
+		if aCode != nCode || alias != namespaced {
+			t.Errorf("GET %s diverged:\nalias      (%d): %s\nnamespaced (%d): %s", path, aCode, alias, nCode, namespaced)
+		}
+	}
+
+	// Post-seal submission errors must alias too.
+	aCode, alias := postBody(t, hs.URL, "/v1/jobs", `{"cpu_pct":100,"mem_units":5,"duration_s":60}`)
+	nCode, namespaced := postBody(t, hs.URL, "/v1/fleets/default/jobs", `{"cpu_pct":100,"mem_units":5,"duration_s":60}`)
+	if aCode != http.StatusConflict || aCode != nCode || alias != namespaced {
+		t.Errorf("sealed-submit error diverged: alias (%d) %q vs namespaced (%d) %q", aCode, alias, nCode, namespaced)
+	}
+
+	// SSE replay: both endpoints must serve the identical transcript of
+	// the fleet's whole event history.
+	f, err := srv.Manager().Get(DefaultFleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Broker().Seq()
+	if want == 0 {
+		t.Fatal("no events published; replay comparison is vacuous")
+	}
+	aliasSSE := readSSETranscript(t, hs.URL, "/v1/events?since=0", want)
+	namespacedSSE := readSSETranscript(t, hs.URL, "/v1/fleets/default/events?since=0", want)
+	if aliasSSE != namespacedSSE {
+		t.Errorf("SSE replay diverged:\nalias:\n%s\nnamespaced:\n%s", aliasSSE, namespacedSSE)
+	}
+	if !strings.Contains(aliasSSE, "event: arrival") || !strings.Contains(aliasSSE, "event: completed") {
+		t.Errorf("replay missing lifecycle events:\n%s", aliasSSE)
+	}
+}
+
+// A malformed shard count in a fleet spec is client error (400), not a
+// 500 from deep inside fleet recovery.
+func TestFleetCreateRejectsBadShards(t *testing.T) {
+	_, hs, _ := newTestServer(t, Config{Policy: "BF", Seed: 1})
+	code, body := postBody(t, hs.URL, "/v1/fleets", `{"id":"x","shards":-5}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "shards") {
+		t.Fatalf("bad-shards create: %d %s, want 400 mentioning shards", code, body)
 	}
 }
