@@ -12,10 +12,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // JobSpec is the body of POST /v1/jobs: one HPC job to admit into the
@@ -174,6 +176,12 @@ type WALStats struct {
 	// TornTail reports that recovery dropped a torn/corrupt final
 	// record (the expected artifact of a crash mid-append).
 	TornTail bool `json:"torn_tail,omitempty"`
+	// TruncatedBytes is how many torn/corrupt tail bytes recovery had
+	// to discard (0 for a clean log).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// LastSnapshotUnix is the wall-clock time (Unix seconds) of the
+	// fleet's newest compaction snapshot, 0 if none exists yet.
+	LastSnapshotUnix int64 `json:"last_snapshot_unix,omitempty"`
 }
 
 // FleetInfo summarizes one hosted fleet (GET /v1/fleets and
@@ -190,6 +198,72 @@ type FleetInfo struct {
 	// WAL is the durability layer's state; nil when the daemon runs
 	// without -wal-dir.
 	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// ReplicationStatus describes one fleet's replication position (part
+// of FleetStatus and HealthStatus).
+type ReplicationStatus struct {
+	// Gen is the fleet's timeline generation (bumped by API restores;
+	// followers re-bootstrap on a generation change).
+	Gen int64 `json:"gen"`
+	// Offset is the fleet's logical log offset: admissions applied
+	// plus the seal. Unlike a WAL byte offset it never rewinds on
+	// compaction.
+	Offset int64 `json:"offset"`
+	// LeaderOffset is the leader's last-known offset for this fleet
+	// (follower role only).
+	LeaderOffset int64 `json:"leader_offset,omitempty"`
+	// Lag is LeaderOffset - Offset (follower role only).
+	Lag int64 `json:"lag,omitempty"`
+	// LastContactUnix is when the follower last heard from the leader
+	// for this fleet, Unix seconds (follower role only).
+	LastContactUnix int64 `json:"last_contact_unix,omitempty"`
+}
+
+// FleetStatus is the response of GET /v1/fleets/{id}/status: the
+// fleet's role and replication position.
+type FleetStatus struct {
+	ID string `json:"id"`
+	// Role is "leader" or "follower".
+	Role   string  `json:"role"`
+	Now    float64 `json:"now_s"`
+	Sealed bool    `json:"sealed"`
+	Done   bool    `json:"done"`
+	Jobs   int     `json:"jobs"`
+	// Replication is the fleet's log position.
+	Replication ReplicationStatus `json:"replication"`
+	// WAL mirrors FleetInfo.WAL; nil without -wal-dir.
+	WAL *WALStats `json:"wal,omitempty"`
+	// LastSnapshotAgeSeconds is the age of the newest compaction
+	// snapshot, -1 if none exists.
+	LastSnapshotAgeSeconds float64 `json:"last_snapshot_age_s"`
+}
+
+// HealthStatus is the response of GET /v1/health: the daemon's role
+// and, for a follower, its readiness to be promoted.
+type HealthStatus struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Ready means the daemon can serve its role: a leader is always
+	// ready; a follower is ready once every known fleet is synced
+	// (lag 0) and the leader has been heard from recently.
+	Ready bool `json:"ready"`
+	// Fleets counts hosted (or mirrored) fleets.
+	Fleets int `json:"fleets"`
+	// Leader is the leader URL a follower replicates from.
+	Leader string `json:"leader,omitempty"`
+	// MaxLag is the worst per-fleet replication lag (follower only).
+	MaxLag int64 `json:"max_lag,omitempty"`
+	// Replication lists per-fleet positions (follower only).
+	Replication map[string]ReplicationStatus `json:"replication,omitempty"`
+}
+
+// PromoteInfo is the response of POST /v1/promote: the follower has
+// sealed catch-up and now serves as leader.
+type PromoteInfo struct {
+	Role string `json:"role"` // always "leader" on success
+	// Fleets maps fleet ID to its log offset at promotion.
+	Fleets map[string]int64 `json:"fleets"`
 }
 
 // APIError is the error body every endpoint returns on failure.
@@ -211,10 +285,81 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when non-nil.
 	HTTPClient *http.Client
+	// Timeout bounds each individual request attempt (not the whole
+	// retried call). Zero means no per-request deadline beyond the
+	// caller's context.
+	Timeout time.Duration
+	// Retry enables transparent retries of failed requests. Nil (the
+	// default) means no retries: every attempt's outcome is returned
+	// to the caller as-is.
+	Retry *RetryPolicy
 
 	// prefix is the API mount point: "" means "/v1" (the default
 	// fleet), Fleet sets "/v1/fleets/{id}".
 	prefix string
+}
+
+// RetryPolicy configures the client's opt-in retry behavior: full-
+// jitter exponential backoff, honoring 429 Retry-After from the
+// daemon's fleet cap. Only transport errors and transient statuses
+// (429, 502, 503, 504) are retried — 503 deliberately so: a follower
+// rejects writes with 503, and retrying rides out a promotion. Every
+// other API error surfaces immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try
+	// included). Values < 2 disable retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 5s).
+	MaxDelay time.Duration
+}
+
+// retryDelay returns the sleep before attempt (1-based, i.e. after
+// the attempt-th try failed), applying full jitter; retryAfter, when
+// positive, overrides the computed backoff (the server knows best).
+func (p *RetryPolicy) retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Full jitter: uniform in (0, d]. Decorrelates a thundering herd
+	// of clients retrying against a freshly promoted leader.
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// the PR 5 fleet-cap 429 and the transient 5xx family a follower or
+// proxy emits mid-failover.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter decodes a Retry-After header (delta-seconds form).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -231,6 +376,8 @@ func (c *Client) Fleet(id string) *Client {
 	return &Client{
 		BaseURL:    c.BaseURL,
 		HTTPClient: c.HTTPClient,
+		Timeout:    c.Timeout,
+		Retry:      c.Retry,
 		prefix:     "/v1/fleets/" + url.PathEscape(id),
 	}
 }
@@ -251,24 +398,62 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) call(ctx context.Context, method, path string, in, out interface{}) error {
-	var body io.Reader
+	var encoded []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("energysched: encoding %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(b)
+		encoded = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	attempts := 1
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err, retryAfter, retryable := c.attempt(ctx, method, path, encoded, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= attempts {
+			return lastErr
+		}
+		select {
+		case <-time.After(c.Retry.retryDelay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// attempt performs one HTTP round trip. retryable marks transport
+// errors and retryable statuses; retryAfter carries a server-provided
+// backoff hint.
+func (c *Client) attempt(ctx context.Context, method, path string, encoded []byte, hasBody bool, out interface{}) (err error, retryAfter time.Duration, retryable bool) {
+	actx := ctx
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(encoded)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.BaseURL+path, body)
 	if err != nil {
-		return err
+		return err, 0, false
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		// A transport failure (refused, reset, attempt timeout) is
+		// retryable unless the caller's own context is done.
+		return err, 0, ctx.Err() == nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -277,13 +462,16 @@ func (c *Client) call(ctx context.Context, method, path string, in, out interfac
 		if json.Unmarshal(data, apiErr) != nil || apiErr.Message == "" {
 			apiErr.Message = strings.TrimSpace(string(data))
 		}
-		return apiErr
+		return apiErr, parseRetryAfter(resp.Header.Get("Retry-After")), retryableStatus(resp.StatusCode)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return nil, 0, false
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return err, 0, false
+	}
+	return nil, 0, false
 }
 
 // SubmitJob admits a job (POST /v1/jobs) and returns its status,
@@ -383,6 +571,31 @@ func (c *Client) Snapshot(ctx context.Context, path string) (SnapshotInfo, error
 func (c *Client) Restore(ctx context.Context, path string) (SnapshotInfo, error) {
 	var info SnapshotInfo
 	err := c.call(ctx, http.MethodPost, c.apiPath("/restore"), map[string]string{"path": path}, &info)
+	return info, err
+}
+
+// Health fetches the daemon's role and readiness (GET /v1/health).
+func (c *Client) Health(ctx context.Context) (HealthStatus, error) {
+	var h HealthStatus
+	err := c.call(ctx, http.MethodGet, "/v1/health", nil, &h)
+	return h, err
+}
+
+// FleetStatus fetches one fleet's role and replication position
+// (GET /v1/fleets/{id}/status).
+func (c *Client) FleetStatus(ctx context.Context, id string) (FleetStatus, error) {
+	var st FleetStatus
+	err := c.call(ctx, http.MethodGet, "/v1/fleets/"+url.PathEscape(id)+"/status", nil, &st)
+	return st, err
+}
+
+// Promote flips a follower to serving leader (POST /v1/promote): it
+// stops replicating, seals catch-up on every mirrored fleet, and
+// starts accepting writes. A daemon that is already the leader
+// responds 409.
+func (c *Client) Promote(ctx context.Context) (PromoteInfo, error) {
+	var info PromoteInfo
+	err := c.call(ctx, http.MethodPost, "/v1/promote", nil, &info)
 	return info, err
 }
 

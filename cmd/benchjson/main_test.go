@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkTable3SB-8   \t       1\t123456789 ns/op\t  2048 B/op\t      17 allocs/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if b.Name != "BenchmarkTable3SB" || b.Procs != 8 || b.Iterations != 1 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.NsPerOp != 123456789 || b.Metrics["B/op"] != 2048 || b.Metrics["allocs/op"] != 17 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig5-4 2 5000 ns/op 93.5 satisfaction_pct")
+	if !ok || b.Metrics["satisfaction_pct"] != 93.5 {
+		t.Fatalf("parsed %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	art, err := parse(strings.NewReader(`goos: linux
+goarch: amd64
+pkg: energysched
+BenchmarkTable3SB-8 1 123 ns/op
+| policy | joules |   <- a paper table the benchmark prints
+PASS
+ok  	energysched	1.234s
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 1 || art.Benchmarks[0].Name != "BenchmarkTable3SB" {
+		t.Fatalf("parsed %+v", art.Benchmarks)
+	}
+}
+
+func TestParseLineUnsuffixedName(t *testing.T) {
+	b, ok := parseLine("BenchmarkSolo 10 42.5 ns/op")
+	if !ok || b.Name != "BenchmarkSolo" || b.Procs != 0 || b.NsPerOp != 42.5 {
+		t.Fatalf("parsed %+v ok=%v", b, ok)
+	}
+}

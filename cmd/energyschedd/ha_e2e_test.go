@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"energysched"
+	"energysched/internal/server"
+)
+
+// The acceptance e2e for warm-standby HA: a real leader daemon and a
+// real follower daemon, with a fault-injecting TCP proxy between them
+// that tears replication frames mid-byte and corrupts one in flight.
+// The leader is SIGKILLed mid-batch — some admissions acknowledged,
+// some not, the replication stream severed without ceremony. The
+// follower is then promoted, and everything it serves — the drained
+// report, the job listing, a fresh snapshot file — must be
+// byte-identical to an uninterrupted single-process run of exactly
+// the admission prefix the follower had applied.
+
+// proxyFault injures one proxied connection: the leader->follower
+// byte stream is cut after `cut` bytes (a torn frame at the
+// transport), and when flip >= 0 the byte at that stream offset is
+// corrupted first (a frame the CRC check must reject).
+type proxyFault struct {
+	cut  int64
+	flip int64
+}
+
+// runProxy forwards TCP to target, applying faults[i] to the i-th
+// accepted connection; connections beyond the list pass through
+// untouched. Returns the proxy's listen address.
+func runProxy(t *testing.T, target string, faults []proxyFault) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var mu sync.Mutex
+	next := 0
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			var f *proxyFault
+			if next < len(faults) {
+				f = &faults[next]
+				next++
+			}
+			mu.Unlock()
+			go proxyConn(c, target, f)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func proxyConn(c net.Conn, target string, f *proxyFault) {
+	defer c.Close()
+	up, err := net.Dial("tcp", target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	go io.Copy(up, c) // requests flow upstream untouched
+	if f == nil {
+		io.Copy(c, up)
+		return
+	}
+	buf := make([]byte, 4096)
+	var seen int64
+	for seen < f.cut {
+		n, rerr := up.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if rest := f.cut - seen; int64(len(chunk)) > rest {
+				chunk = chunk[:rest]
+			}
+			if f.flip >= seen && f.flip < seen+int64(len(chunk)) {
+				chunk[f.flip-seen] ^= 0x40
+			}
+			if _, werr := c.Write(chunk); werr != nil {
+				return
+			}
+			seen += int64(len(chunk))
+		}
+		if rerr != nil {
+			return
+		}
+	}
+	// Torn tail: sever both directions mid-frame, no goodbye.
+}
+
+func TestE2EKillLeaderPromoteFollower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon binary")
+	}
+	bin := buildDaemon(t)
+	ctx := context.Background()
+
+	leaderAddr := freeAddr(t)
+	followerAddr := freeAddr(t)
+	leaderBase := "http://" + leaderAddr
+	followerBase := "http://" + followerAddr
+
+	// Leader: durable, compacting, page-cache sync (kill -9 semantics).
+	leaderArgs := []string{
+		"-listen", leaderAddr,
+		"-wal-dir", t.TempDir(),
+		"-snapshot-dir", t.TempDir(),
+		"-snapshot-interval", "4",
+		"-wal-sync", "os",
+	}
+	leader := startDaemon(t, bin, leaderArgs, leaderBase)
+
+	// The follower reaches the leader only through the fault proxy:
+	// its bootstrap and streams get torn mid-frame and one gets a
+	// corrupted byte the CRC must catch. Resume-by-offset has to ride
+	// all of it out.
+	proxyAddr := runProxy(t, leaderAddr, []proxyFault{
+		{cut: 700, flip: -1},
+		{cut: 2000, flip: 1500},
+		{cut: 5000, flip: -1},
+		{cut: 9000, flip: 8191},
+	})
+	startDaemon(t, bin, []string{
+		"-listen", followerAddr,
+		"-follow", "http://" + proxyAddr,
+		"-follow-poll", "50ms",
+		"-wal-dir", t.TempDir(),
+		"-snapshot-dir", t.TempDir(),
+		"-wal-sync", "os",
+	}, followerBase)
+
+	lc := energysched.NewClient(leaderBase)
+	fc := energysched.NewClient(followerBase)
+
+	// Phase 1: sequential churn through the fault gauntlet.
+	specs := make([]energysched.JobSpec, 0, 42)
+	for i := 0; i < 12; i++ {
+		at := float64(i) * 45
+		spec := energysched.JobSpec{
+			CPU: 100 + float64(i%3)*100, Mem: 5 + float64(i%2)*5,
+			Duration: 900 + float64(i%4)*300, Submit: &at,
+		}
+		specs = append(specs, spec)
+		if _, err := lc.SubmitJob(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSync := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			st, err := fc.FleetStatus(ctx, "default")
+			if err == nil && st.Replication.Offset >= want {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		st, err := fc.FleetStatus(ctx, "default")
+		t.Fatalf("follower never reached offset %d (status %+v, %v)", want, st, err)
+	}
+	waitSync(12)
+
+	// Phase 2: a 30-job batch is in flight when the leader dies. The
+	// SIGKILL lands mid-batch: the follower ends up with whatever
+	// prefix of the batch the stream delivered.
+	batch := make([]energysched.JobSpec, 0, 30)
+	for i := 0; i < 30; i++ {
+		at := 540 + float64(i)*30
+		batch = append(batch, energysched.JobSpec{
+			CPU: 150 + float64(i%4)*50, Mem: 5, Duration: 1200, Submit: &at,
+		})
+	}
+	specs = append(specs, batch...)
+	go lc.SubmitJobs(ctx, batch) // the ack may never arrive; that is the point
+	waitSync(13)                 // at least one batch record replicated
+	if err := leader.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	leader.Wait()
+
+	// The follower's applied offset settles at whatever the dying
+	// stream delivered.
+	stable, last := 0, int64(-1)
+	for stable < 10 {
+		st, err := fc.FleetStatus(ctx, "default")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Replication.Offset == last {
+			stable++
+		} else {
+			stable, last = 0, st.Replication.Offset
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	n := int(last)
+	if n < 13 || n > len(specs) {
+		t.Fatalf("follower settled at offset %d, want within [13, %d]", n, len(specs))
+	}
+	t.Logf("leader killed mid-batch; follower holds %d of %d acknowledged-or-in-flight admissions", n, len(specs))
+
+	// Promote. The follower seals catch-up and serves.
+	info, err := fc.Promote(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Role != "leader" || info.Fleets["default"] != int64(n) {
+		t.Fatalf("promote info = %+v, want leader at offset %d", info, n)
+	}
+	promotedJobs := getBody(t, followerBase+"/v1/jobs")
+	if _, err := fc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	promotedReport := getBody(t, followerBase+"/v1/report")
+	// Snapshot paths are confined to the daemon's -snapshot-dir, so a
+	// bare name lands in the temp dir passed above.
+	promotedSnap, err := fc.Snapshot(ctx, "promoted.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The uninterrupted reference: one in-process daemon admits exactly
+	// the prefix the follower applied — 12 singles then the delivered
+	// slice of the batch — and must land on the same bytes.
+	// The reference config mirrors the daemon's flag defaults exactly —
+	// the snapshot file embeds the scheduling config, so a byte-equal
+	// snapshot requires byte-equal config.
+	refSrv, err := server.New(server.Config{
+		Policy: "SB", Seed: 1,
+		Score:       &energysched.ScoreParams{Cempty: 20, Cfill: 40},
+		SnapshotDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHS := httptest.NewServer(refSrv.Handler())
+	defer func() { refHS.Close(); refSrv.Close() }()
+	refClient := energysched.NewClient(refHS.URL)
+	for _, spec := range specs[:12] {
+		if _, err := refClient.SubmitJob(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n > 12 {
+		if _, err := refClient.SubmitJobs(ctx, specs[12:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refJobs := getBody(t, refHS.URL+"/v1/jobs")
+	if _, err := refClient.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	refReport := getBody(t, refHS.URL+"/v1/report")
+	refSnap, err := refClient.Snapshot(ctx, "ref.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(promotedJobs, refJobs) {
+		t.Errorf("promoted job listing diverged:\n got %s\nwant %s", promotedJobs, refJobs)
+	}
+	if !bytes.Equal(promotedReport, refReport) {
+		t.Errorf("promoted report diverged:\n got %s\nwant %s", promotedReport, refReport)
+	}
+	pb, err1 := os.ReadFile(promotedSnap.Path)
+	rb, err2 := os.ReadFile(refSnap.Path)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("reading snapshots: %v, %v", err1, err2)
+	}
+	if !bytes.Equal(pb, rb) {
+		t.Errorf("promoted snapshot file diverged:\n got %s\nwant %s", pb, rb)
+	}
+
+	// And the promoted daemon is a real leader: draining sealed it, but
+	// health reports the role flip.
+	h, err := fc.Health(ctx)
+	if err != nil || h.Role != "leader" || !h.Ready {
+		t.Fatalf("promoted health = %+v, %v", h, err)
+	}
+}
+
+// buildDaemon builds the daemon binary into a per-test temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir() + "/energyschedd"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+	return bin
+}

@@ -11,9 +11,15 @@
 // (write-ahead log + interval-compacted snapshots), so a killed
 // daemon restarts into exactly the state it acknowledged.
 //
+// Since PR 6 a second daemon can run as a warm standby: -follow
+// streams every leader fleet's admission log into local mirrors and
+// POST /v1/promote (or -promote-grace leader-loss detection) flips it
+// to serving with fleet state byte-identical to the leader's.
+//
 //	energyschedd -listen :7781 -pace max
 //	energyschedd -listen :7781 -fleets default,batch=BF -wal-dir /var/lib/energyschedd -snapshot-interval 256
 //	energyschedd -restore /var/lib/energyschedd/energyschedd-120.snapshot.json
+//	energyschedd -listen :7782 -follow http://localhost:7781 -promote-grace 5s -wal-dir /var/lib/energyschedd-standby
 //
 // API quickstart (see docs/ARCHITECTURE.md, "Service mode" and
 // "Multi-fleet & durability"):
@@ -71,6 +77,9 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "durable root for per-fleet admission WALs + compaction snapshots (empty = in-memory only)")
 		snapEvery  = flag.Int("snapshot-interval", 256, "WAL records per compaction snapshot (0 = never compact)")
 		walSync    = flag.String("wal-sync", "always", "WAL append sync policy: 'always' (fsync per admission) or 'os' (page cache)")
+		follow     = flag.String("follow", "", "warm-standby mode: continuously mirror the leader daemon at this base URL (e.g. http://leader:7781); writes are rejected until promotion")
+		graceFlag  = flag.Duration("promote-grace", 0, "in -follow mode, auto-promote after this long without leader contact (0 = manual POST /v1/promote only)")
+		followPoll = flag.Duration("follow-poll", 0, "in -follow mode, leader fleet-discovery period (0 = default 1s)")
 	)
 	cli.Parse("energyschedd")
 
@@ -87,6 +96,14 @@ func main() {
 	}
 	if *shards < -1 {
 		cli.Usagef("energyschedd", "-shards must be >= -1, got %d", *shards)
+	}
+	if *follow != "" {
+		if *restore != "" {
+			cli.Usagef("energyschedd", "-restore cannot be combined with -follow (a follower's state comes from the leader)")
+		}
+		if !strings.HasPrefix(*follow, "http://") && !strings.HasPrefix(*follow, "https://") {
+			cli.Usagef("energyschedd", "-follow must be a base URL (http:// or https://), got %q", *follow)
+		}
 	}
 	var seeds []server.FleetSeed
 	for _, tok := range strings.Split(*fleets, ",") {
@@ -121,6 +138,9 @@ func main() {
 		WALSync:           *walSync,
 		MaxFleets:         *maxFleets,
 		Fleets:            seeds,
+		Follow:            *follow,
+		PromoteGrace:      *graceFlag,
+		FollowPoll:        *followPoll,
 		Logf:              log.Printf,
 	})
 	if err != nil {
@@ -138,7 +158,11 @@ func main() {
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (policy %s, pace %s, version %s)", *listen, *policyName, *pace, cli.Version())
+	role := "leader"
+	if *follow != "" {
+		role = "follower of " + *follow
+	}
+	log.Printf("serving on %s (policy %s, pace %s, role %s, version %s)", *listen, *policyName, *pace, role, cli.Version())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

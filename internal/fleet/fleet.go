@@ -15,6 +15,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -115,6 +116,14 @@ type WALStats struct {
 	// TornTail reports that recovery found (and dropped) a torn or
 	// corrupt final record.
 	TornTail bool `json:"torn_tail,omitempty"`
+	// TruncatedBytes is how many torn/corrupt tail bytes recovery had
+	// to discard (0 for a clean log). Surfaced so operators — and the
+	// failover e2e — can see exactly how much of the unacknowledged
+	// tail a crash destroyed.
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// LastSnapshotUnix is the wall-clock time (Unix seconds) of the
+	// newest compaction snapshot, 0 if none exists yet.
+	LastSnapshotUnix int64 `json:"last_snapshot_unix,omitempty"`
 }
 
 // Error is a status-coded fleet error; the HTTP layer maps Status
@@ -140,6 +149,7 @@ type Fleet struct {
 	id     string
 	cfg    Config
 	broker *Broker
+	repl   *replFeed
 
 	cmds     chan func()
 	stopc    chan struct{}
@@ -157,6 +167,7 @@ type Fleet struct {
 	wal       *wal
 	walBroken bool // an append failed and could not be rolled back
 	stats     WALStats
+	gen       int64 // timeline generation; bumped when restore replaces the log
 }
 
 // Open builds a fleet, recovers its durable state when Config.Dir is
@@ -169,6 +180,8 @@ func Open(id string, cfg Config) (*Fleet, error) {
 		cmds:   make(chan func()),
 		stopc:  make(chan struct{}),
 		broker: newBroker(cfg.EventRing),
+		repl:   newReplFeed(),
+		gen:    1,
 	}
 	jobs, now, sealed, err := f.recover()
 	if err != nil {
@@ -197,11 +210,16 @@ func (f *Fleet) recover() (jobs []workload.Job, now float64, sealed bool, err er
 	}
 	f.stats.Enabled = true
 	snapPath := filepath.Join(f.cfg.Dir, checkpointName)
-	if _, serr := os.Stat(snapPath); serr == nil {
+	if st, serr := os.Stat(snapPath); serr == nil {
 		snap, rerr := readSnapshot(snapPath)
 		if rerr != nil {
 			return nil, 0, false, fmt.Errorf("fleet %s: %w", f.id, rerr)
 		}
+		if snap.Gen > 0 {
+			// Pre-PR 6 snapshots carry no generation: stay at 1.
+			f.gen = snap.Gen
+		}
+		f.stats.LastSnapshotUnix = st.ModTime().Unix()
 		// The compaction snapshot's scheduling config is the one the
 		// logged jobs were acknowledged under — an API restore may have
 		// changed it after the manifest was written — so it wins over
@@ -213,14 +231,15 @@ func (f *Fleet) recover() (jobs []workload.Job, now float64, sealed bool, err er
 		now = snap.SavedVirtual
 		sealed = snap.Sealed
 	}
-	w, recs, torn, werr := openWAL(filepath.Join(f.cfg.Dir, walName), f.cfg.WALSync)
+	w, recs, dropped, werr := openWAL(filepath.Join(f.cfg.Dir, walName), f.cfg.WALSync)
 	if werr != nil {
 		return nil, 0, false, fmt.Errorf("fleet %s: %w", f.id, werr)
 	}
 	f.wal = w
-	f.stats.TornTail = torn
-	if torn {
-		f.logf("wal: torn tail detected and dropped; recovered the intact prefix (%d records)", len(recs))
+	f.stats.TornTail = dropped > 0
+	f.stats.TruncatedBytes = dropped
+	if dropped > 0 {
+		f.logf("wal: torn tail detected and dropped (%d bytes); recovered the intact prefix (%d records)", dropped, len(recs))
 	}
 	for _, rec := range recs {
 		switch rec.Kind {
@@ -284,6 +303,7 @@ func (f *Fleet) Close() {
 	f.stopOnce.Do(func() { close(f.stopc) })
 	f.wg.Wait()
 	f.broker.close()
+	f.repl.close()
 	f.wal.close()
 }
 
@@ -477,9 +497,22 @@ func (f *Fleet) admit(specs []energysched.JobSpec) ([]energysched.JobStatus, err
 		}
 		jobs = append(jobs, j)
 	}
-	if err := f.logAdmissions(jobs); err != nil {
+	// Marshal each record exactly once: the same bytes go to the WAL
+	// and to the replication feed, so a follower's WAL is
+	// byte-identical to the leader's.
+	payloads := make([][]byte, 0, len(jobs))
+	for i := range jobs {
+		sj := toSnapJob(jobs[i])
+		payload, err := json.Marshal(walRecord{Kind: walKindAdmit, Job: &sj})
+		if err != nil {
+			return nil, errf(http.StatusInternalServerError, "encoding wal record: %v", err)
+		}
+		payloads = append(payloads, payload)
+	}
+	if err := f.logPayloads(payloads); err != nil {
 		return nil, err
 	}
+	base := int64(len(f.jobs))
 	out := make([]energysched.JobStatus, 0, len(jobs))
 	for _, j := range jobs {
 		v, err := f.sim.Inject(j)
@@ -499,29 +532,34 @@ func (f *Fleet) admit(specs []energysched.JobSpec) ([]energysched.JobStatus, err
 		}
 		f.sim.StepBefore(f.watermark)
 	}
+	// Publish with the pre-admission clock: every submit in the batch
+	// was validated against it, so a follower stepping to it can still
+	// inject every record that follows on the stream.
+	for i := range payloads {
+		f.repl.publish(ReplRecord{Offset: base + int64(i) + 1, Now: now, Data: payloads[i]})
+	}
 	f.maybeCompact()
 	return out, nil
 }
 
-// logAdmissions appends one WAL record per job and flushes once. On
-// failure the log is rolled back to its pre-batch length so disk and
-// memory stay consistent; if even that fails, the fleet goes
+// logPayloads appends pre-marshaled WAL record payloads and flushes
+// once. On failure the log is rolled back to its pre-batch length so
+// disk and memory stay consistent; if even that fails, the fleet goes
 // read-only rather than diverging.
-func (f *Fleet) logAdmissions(jobs []workload.Job) error {
+func (f *Fleet) logPayloads(payloads [][]byte) error {
 	if f.wal == nil {
 		return nil
 	}
 	off, records := f.wal.tell()
-	for _, j := range jobs {
-		sj := toSnapJob(j)
-		if err := f.wal.append(walRecord{Kind: walKindAdmit, Job: &sj}, false); err != nil {
+	for _, payload := range payloads {
+		if err := f.wal.appendPayload(payload, false); err != nil {
 			return f.rollbackWAL(off, records, err)
 		}
 	}
 	if err := f.wal.flush(); err != nil {
 		return f.rollbackWAL(off, records, err)
 	}
-	f.stats.Appended += len(jobs)
+	f.stats.Appended += len(payloads)
 	return nil
 }
 
@@ -565,6 +603,7 @@ func (f *Fleet) persistCheckpoint() error {
 		return err
 	}
 	f.stats.Snapshots++
+	f.stats.LastSnapshotUnix = time.Now().Unix()
 	f.logf("compacted: snapshot of %d jobs at t=%.1fs, wal reset", len(snap.Jobs), snap.SavedVirtual)
 	return nil
 }
@@ -680,11 +719,13 @@ func (f *Fleet) Info() (energysched.FleetInfo, error) {
 				st.Records = f.wal.records
 			}
 			w := energysched.WALStats{
-				Records:   st.Records,
-				Appended:  st.Appended,
-				Replayed:  st.Replayed,
-				Snapshots: st.Snapshots,
-				TornTail:  st.TornTail,
+				Records:          st.Records,
+				Appended:         st.Appended,
+				Replayed:         st.Replayed,
+				Snapshots:        st.Snapshots,
+				TornTail:         st.TornTail,
+				TruncatedBytes:   st.TruncatedBytes,
+				LastSnapshotUnix: st.LastSnapshotUnix,
 			}
 			info.WAL = &w
 		}
@@ -703,18 +744,24 @@ func (f *Fleet) Drain() (energysched.ServiceReport, error) {
 			rep = *f.final
 			return
 		}
-		if f.wal != nil && !f.walBroken {
-			off, records := f.wal.tell()
-			if err := f.wal.append(walRecord{Kind: walKindSeal}, true); err != nil {
-				serr = f.rollbackWAL(off, records, err)
+		payload, merr := json.Marshal(walRecord{Kind: walKindSeal})
+		if merr != nil {
+			serr = errf(http.StatusInternalServerError, "encoding seal record: %v", merr)
+			return
+		}
+		sealOffset := int64(len(f.jobs)) + 1
+		sealNow := f.sim.Now()
+		if !f.walBroken {
+			if err := f.logPayloads([][]byte{payload}); err != nil {
+				serr = err
 				return
 			}
-			f.stats.Appended++
 		}
 		r := serviceReport(f.sim.Drain(), true)
 		f.final = &r
 		f.watermark = f.sim.Now()
 		rep = r
+		f.repl.publish(ReplRecord{Offset: sealOffset, Now: sealNow, Data: payload})
 		f.logf("drained: %s", r.Table)
 		f.persistCheckpoint()
 	}); err != nil {
@@ -823,13 +870,31 @@ func (f *Fleet) adoptSnapshotConfig(sc snapshotConfig) {
 	}
 }
 
-// restore rebuilds the fleet from a snapshot file. Call only from the
-// event loop.
+// restore rebuilds the fleet from a snapshot file. The fleet starts a
+// new timeline: the generation is bumped so a replication follower
+// re-bootstraps instead of splicing pre- and post-restore history.
+// Call only from the event loop.
 func (f *Fleet) restore(path string) (energysched.SnapshotInfo, error) {
 	snap, err := readSnapshot(path)
 	if err != nil {
 		return energysched.SnapshotInfo{}, errf(http.StatusUnprocessableEntity, "%v", err)
 	}
+	oldGen := f.gen
+	f.gen++
+	if err := f.applySnapshot(snap, path); err != nil {
+		f.gen = oldGen
+		return energysched.SnapshotInfo{}, err
+	}
+	return energysched.SnapshotInfo{
+		Path: path, Jobs: len(snap.Jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
+	}, nil
+}
+
+// applySnapshot replaces the fleet's state with a snapshot's: the
+// restore path and the replication bootstrap share it. The caller is
+// responsible for generation handling (restore bumps it; a follower
+// adopts the leader's). Call only from the event loop.
+func (f *Fleet) applySnapshot(snap snapshotFile, source string) error {
 	// The snapshot's scheduling configuration wins: determinism of the
 	// replay depends on it. Keep the old config at hand so a failed
 	// replay leaves config and simulation consistent.
@@ -841,28 +906,30 @@ func (f *Fleet) restore(path string) (energysched.SnapshotInfo, error) {
 	}
 	if err := f.rebuild(jobs, snap.SavedVirtual, snap.Sealed); err != nil {
 		f.cfg = oldCfg
-		return energysched.SnapshotInfo{}, errf(http.StatusUnprocessableEntity, "%v", err)
+		return errf(http.StatusUnprocessableEntity, "%v", err)
 	}
-	// The restored timeline supersedes the WAL: republish the restored
-	// state as the compaction snapshot so a crash after this point
-	// recovers the restored fleet, not the pre-restore one. If that
-	// fails, the WAL on disk still describes the OLD timeline — stop
-	// acknowledging admissions a future recovery would mis-replay.
+	// The new timeline supersedes the WAL: republish the state as the
+	// compaction snapshot so a crash after this point recovers it, not
+	// the pre-restore one. If that fails, the WAL on disk still
+	// describes the OLD timeline — stop acknowledging admissions a
+	// future recovery would mis-replay.
 	if err := f.persistCheckpoint(); err != nil {
 		f.walBroken = true
 		f.logf("restore succeeded in memory but its checkpoint did not persist; fleet is read-only: %v", err)
 	}
 	// The pre-restore timeline no longer describes this fleet: clear
 	// the replay ring (sequence numbers stay monotonic) and mark the
-	// discontinuity for connected stream consumers.
+	// discontinuity for connected stream consumers. Replication
+	// sessions are cut for the same reason — reconnecting followers
+	// observe the generation change and re-bootstrap; without the cut
+	// an idle timeline would never surface the swap.
+	f.repl.dropAll()
 	f.broker.reset()
 	f.broker.publish(energysched.Event{
 		Time: snap.SavedVirtual, Kind: "restore", VM: -1, Node: -1, Aux: -1,
 	})
-	f.logf("restored %d jobs at t=%.1fs from %s", len(jobs), snap.SavedVirtual, path)
-	return energysched.SnapshotInfo{
-		Path: path, Jobs: len(jobs), Now: snap.SavedVirtual, Sealed: snap.Sealed,
-	}, nil
+	f.logf("restored %d jobs at t=%.1fs from %s", len(jobs), snap.SavedVirtual, source)
+	return nil
 }
 
 // --- metrics ---
@@ -926,7 +993,15 @@ func (f *Fleet) gatherMetrics() []metrics.PromSample {
 			metrics.PromSample{Name: "energysched_wal_appended_total", Help: "WAL records appended since open.", Kind: metrics.PromCounter, Value: float64(f.stats.Appended)},
 			metrics.PromSample{Name: "energysched_wal_replayed_total", Help: "WAL-tail records replayed during recovery at open.", Kind: metrics.PromCounter, Value: float64(f.stats.Replayed)},
 			metrics.PromSample{Name: "energysched_wal_snapshots_total", Help: "Compaction snapshots written since open.", Kind: metrics.PromCounter, Value: float64(f.stats.Snapshots)},
+			metrics.PromSample{Name: "energysched_wal_truncated_bytes", Help: "Torn/corrupt tail bytes dropped by WAL recovery at open.", Kind: metrics.PromGauge, Value: float64(f.stats.TruncatedBytes)},
+			metrics.PromSample{Name: "energysched_wal_offset", Help: "Logical log offset: admissions plus the seal since the timeline began.", Kind: metrics.PromGauge, Value: float64(f.logOffset())},
 		)
+		if f.stats.LastSnapshotUnix > 0 {
+			samples = append(samples, metrics.PromSample{
+				Name: "energysched_wal_snapshot_age_seconds", Help: "Wall-clock age of the newest compaction snapshot.",
+				Kind: metrics.PromGauge, Value: time.Since(time.Unix(f.stats.LastSnapshotUnix, 0)).Seconds(),
+			})
+		}
 	}
 	if sch, ok := f.sim.Policy().(*core.Scheduler); ok {
 		st := sch.Stats

@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Warm-standby replication, fleet side. The admission log IS the
+// fleet's state (snapshots are event-sourced), so replicating a fleet
+// means shipping its WAL records, in order, to a follower that applies
+// them through the same deterministic engine. The leader exposes, per
+// fleet:
+//
+//   - a logical record offset: how many log records (admissions + the
+//     seal) exist since the fleet's timeline began. Unlike the WAL
+//     file's byte offset it never rewinds on compaction, so a follower
+//     resumes by record offset across leader compactions and restarts;
+//   - a timeline generation, bumped whenever the log stops describing
+//     the fleet (an API restore replaces the timeline). A follower
+//     whose generation disagrees re-bootstraps from a snapshot
+//     instead of splicing two histories;
+//   - a subscription feed (ReplSubscribe): the bootstrap snapshot or
+//     record backlog the caller is missing, then live records as the
+//     event loop commits them.
+//
+// Every record carries the leader's virtual clock at admission time
+// (Now). A follower may only advance its own clock to times carried
+// by frames: the leader validated every admission against its clock,
+// so no future record can have a submit time below a Now the follower
+// has already seen — which is exactly the invariant that makes
+// incremental apply land on the same timeline as the leader's own
+// crash recovery.
+
+// ReplRecord is one replicated log record: the record offset after
+// applying it (1-based), the leader's virtual clock at admission, and
+// the marshaled walRecord payload — the same bytes the leader wrote to
+// its own WAL, so follower WALs are byte-identical.
+type ReplRecord struct {
+	Offset int64
+	Now    float64
+	Data   []byte
+}
+
+// ReplSession is one follower's view of a fleet's log, returned by
+// ReplSubscribe. Exactly one of Snapshot / Backlog covers the gap
+// between the caller's offset and Head; Ch then streams live records.
+// Ch is closed when the subscriber falls too far behind or the fleet
+// shuts down — the caller reconnects and resumes at its applied
+// offset.
+type ReplSession struct {
+	// Gen is the fleet's timeline generation.
+	Gen int64
+	// Head is the fleet's current log offset.
+	Head int64
+	// Now is the fleet's virtual clock at subscription.
+	Now float64
+	// Start is the offset this session resumes from: the caller's
+	// requested offset, or Head when Snapshot bootstraps the caller.
+	Start int64
+	// Snapshot, when non-nil, is the marshaled snapshot of the state
+	// through Start: sent when the caller's generation disagrees or
+	// its offset cannot be served from the log.
+	Snapshot []byte
+	// Backlog holds the records (Start, Head], re-marshaled from the
+	// admission log, when the caller resumes by offset.
+	Backlog []ReplRecord
+	// Ch streams records committed after Head.
+	Ch chan ReplRecord
+}
+
+// replSubBuffer is each replication subscriber's channel depth: how
+// far it may lag the event loop before being cut loose to reconnect.
+const replSubBuffer = 1024
+
+// replFeed fans committed log records out to replication sessions.
+// publish is only called from the fleet's event loop; the mutex
+// guards the subscriber set against concurrent Unsubscribe.
+type replFeed struct {
+	mu     sync.Mutex
+	closed bool
+	subs   map[*ReplSession]struct{}
+}
+
+func newReplFeed() *replFeed {
+	return &replFeed{subs: make(map[*ReplSession]struct{})}
+}
+
+func (rf *replFeed) publish(rec ReplRecord) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.closed {
+		return
+	}
+	for sess := range rf.subs {
+		select {
+		case sess.Ch <- rec:
+		default:
+			// Slow follower: cut it loose so replication never
+			// backpressures admissions; it reconnects at its offset.
+			delete(rf.subs, sess)
+			close(sess.Ch)
+		}
+	}
+}
+
+func (rf *replFeed) add(sess *ReplSession) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.closed {
+		close(sess.Ch)
+		return
+	}
+	rf.subs[sess] = struct{}{}
+}
+
+func (rf *replFeed) remove(sess *ReplSession) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if _, ok := rf.subs[sess]; ok {
+		delete(rf.subs, sess)
+		close(sess.Ch)
+	}
+}
+
+// dropAll disconnects every subscriber but keeps the feed usable:
+// called when a snapshot replaces the fleet's timeline (API restore),
+// so attached followers reconnect, observe the generation bump, and
+// re-bootstrap instead of idling on a dead timeline.
+func (rf *replFeed) dropAll() {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	for sess := range rf.subs {
+		delete(rf.subs, sess)
+		close(sess.Ch)
+	}
+}
+
+func (rf *replFeed) close() {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.closed {
+		return
+	}
+	rf.closed = true
+	for sess := range rf.subs {
+		delete(rf.subs, sess)
+		close(sess.Ch)
+	}
+}
+
+// logOffset returns the fleet's logical record offset: admissions plus
+// the seal. Call only from the event loop.
+func (f *Fleet) logOffset() int64 {
+	n := int64(len(f.jobs))
+	if f.sim.Sealed() {
+		n++
+	}
+	return n
+}
+
+// ReplState reports the fleet's timeline generation, log offset and
+// virtual clock.
+func (f *Fleet) ReplState() (gen, offset int64, now float64, err error) {
+	err = f.do(func() { gen, offset, now = f.gen, f.logOffset(), f.sim.Now() })
+	return gen, offset, now, err
+}
+
+// ReplSubscribe opens a replication session resuming from the caller's
+// (generation, offset). A disagreeing generation, a negative offset or
+// an offset past the head cannot be served from the log and bootstraps
+// the caller with a full snapshot instead. Release the session with
+// ReplUnsubscribe.
+func (f *Fleet) ReplSubscribe(gen, from int64) (*ReplSession, error) {
+	sess := &ReplSession{Ch: make(chan ReplRecord, replSubBuffer)}
+	err := f.do(func() {
+		sess.Gen = f.gen
+		sess.Head = f.logOffset()
+		sess.Now = f.sim.Now()
+		if gen != f.gen || from < 0 || from > sess.Head {
+			data, merr := json.Marshal(f.snapshotState())
+			if merr != nil {
+				return // cannot happen: plain structs
+			}
+			sess.Snapshot = data
+			sess.Start = sess.Head
+		} else {
+			sess.Start = from
+			for i := from; i < int64(len(f.jobs)); i++ {
+				sj := toSnapJob(f.jobs[i])
+				payload, merr := json.Marshal(walRecord{Kind: walKindAdmit, Job: &sj})
+				if merr != nil {
+					return
+				}
+				// Backlog records carry Now 0: the follower injects them
+				// without advancing its clock, then catches up from the
+				// ping that follows the backlog on the stream.
+				sess.Backlog = append(sess.Backlog, ReplRecord{Offset: i + 1, Data: payload})
+			}
+			if f.sim.Sealed() {
+				payload, merr := json.Marshal(walRecord{Kind: walKindSeal})
+				if merr != nil {
+					return
+				}
+				sess.Backlog = append(sess.Backlog, ReplRecord{Offset: int64(len(f.jobs)) + 1, Data: payload})
+			}
+		}
+		// Registering inside the event loop makes the snapshot/backlog
+		// and the live feed gapless: no record can be committed between
+		// the capture and the registration.
+		f.repl.add(sess)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// ReplUnsubscribe releases a replication session.
+func (f *Fleet) ReplUnsubscribe(sess *ReplSession) {
+	f.repl.remove(sess)
+}
+
+// ApplyReplSnapshot replaces the fleet's state with a leader snapshot
+// (follower bootstrap). The snapshot's generation is adopted verbatim
+// — the follower mirrors the leader's timeline, it does not start one.
+func (f *Fleet) ApplyReplSnapshot(data []byte) error {
+	var serr error
+	if err := f.do(func() {
+		var snap snapshotFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			serr = errf(http.StatusUnprocessableEntity, "decoding replication snapshot: %v", err)
+			return
+		}
+		if snap.Format != snapshotFormat {
+			serr = errf(http.StatusUnprocessableEntity, "unsupported replication snapshot format %q", snap.Format)
+			return
+		}
+		oldGen := f.gen
+		f.gen = snap.Gen
+		if f.gen == 0 {
+			f.gen = 1
+		}
+		if serr = f.applySnapshot(snap, "replication bootstrap"); serr != nil {
+			f.gen = oldGen
+		}
+	}); err != nil {
+		return err
+	}
+	return serr
+}
+
+// ApplyReplRecord applies one replicated record at the given offset
+// and leader clock. The record must be the immediate successor of the
+// fleet's log head; a gap or a replay is refused with 409 so the
+// follower re-syncs instead of corrupting its timeline. Durability
+// mirrors the leader's admission path exactly: WAL append (the
+// leader's own payload bytes) before apply.
+func (f *Fleet) ApplyReplRecord(rec ReplRecord) error {
+	var serr error
+	if err := f.do(func() { serr = f.applyRecord(rec) }); err != nil {
+		return err
+	}
+	return serr
+}
+
+// applyRecord is ApplyReplRecord on the event loop.
+func (f *Fleet) applyRecord(rec ReplRecord) error {
+	var wrec walRecord
+	if err := json.Unmarshal(rec.Data, &wrec); err != nil {
+		return errf(http.StatusBadRequest, "decoding replicated record: %v", err)
+	}
+	cur := f.logOffset()
+	if rec.Offset != cur+1 {
+		return errf(http.StatusConflict,
+			"replication gap: record %d does not follow local offset %d", rec.Offset, cur)
+	}
+	if f.walBroken {
+		return errf(http.StatusInternalServerError, "admission log is broken; fleet is read-only")
+	}
+	if f.sim.Sealed() {
+		return errf(http.StatusConflict, "workload is sealed; no records can follow the seal")
+	}
+	switch wrec.Kind {
+	case walKindAdmit:
+		if wrec.Job == nil || wrec.Job.ID != len(f.jobs) {
+			return errf(http.StatusUnprocessableEntity, "replicated admit record out of sequence")
+		}
+		if err := f.logPayloads([][]byte{rec.Data}); err != nil {
+			return err
+		}
+		j := wrec.Job.job()
+		if _, err := f.sim.Inject(j); err != nil {
+			// The leader applied this record; if we cannot, our WAL now
+			// disagrees with memory — stop rather than diverge.
+			f.walBroken = f.wal != nil
+			return errf(http.StatusInternalServerError, "replicated record does not apply: %v", err)
+		}
+		f.jobs = append(f.jobs, j)
+		if rec.Now > f.watermark {
+			f.watermark = rec.Now
+		}
+		f.sim.StepBefore(f.watermark)
+		f.repl.publish(rec)
+		f.maybeCompact()
+	case walKindSeal:
+		if err := f.logPayloads([][]byte{rec.Data}); err != nil {
+			return err
+		}
+		rep := serviceReport(f.sim.Drain(), true)
+		f.final = &rep
+		f.watermark = f.sim.Now()
+		f.repl.publish(rec)
+		f.logf("replicated seal applied: %s", rep.Table)
+		f.persistCheckpoint()
+	default:
+		return errf(http.StatusUnprocessableEntity, "unknown replicated record kind %q", wrec.Kind)
+	}
+	return nil
+}
+
+// AdvanceTo moves the fleet's virtual clock to a leader-carried time
+// (ping frames). Safe by the replication clock invariant: the leader
+// never admits below a clock value it has already published.
+func (f *Fleet) AdvanceTo(now float64) error {
+	return f.do(func() {
+		if now > f.watermark {
+			f.watermark = now
+			if !f.sim.Done() {
+				f.sim.StepBefore(f.watermark)
+			}
+		}
+	})
+}
+
+// SealCatchUp finalizes a promotion: the fleet fast-forwards its clock
+// to its admission watermark — exactly what crash recovery does — so
+// the promoted state is the one the replicated log describes. Returns
+// the fleet's log offset.
+func (f *Fleet) SealCatchUp() (offset int64, err error) {
+	err = f.do(func() {
+		wm := maxWatermark(f.watermark, f.jobs)
+		if wm > f.watermark {
+			f.watermark = wm
+		}
+		if !f.sim.Done() {
+			f.sim.StepBefore(f.watermark)
+		}
+		offset = f.logOffset()
+	})
+	return offset, err
+}

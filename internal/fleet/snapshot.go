@@ -34,11 +34,16 @@ const checkpointName = "snapshot.json"
 const walName = "wal.log"
 
 type snapshotFile struct {
-	Format       string         `json:"format"`
-	SavedVirtual float64        `json:"saved_virtual_s"`
-	Sealed       bool           `json:"sealed"`
-	Config       snapshotConfig `json:"config"`
-	Jobs         []snapJob      `json:"jobs"`
+	Format       string  `json:"format"`
+	SavedVirtual float64 `json:"saved_virtual_s"`
+	Sealed       bool    `json:"sealed"`
+	// Gen is the timeline generation the snapshot belongs to (0 in
+	// pre-PR 6 snapshots, treated as 1). Restores bump it; replication
+	// followers adopt the leader's, so a follower never splices records
+	// from two different timelines.
+	Gen    int64          `json:"gen,omitempty"`
+	Config snapshotConfig `json:"config"`
+	Jobs   []snapJob      `json:"jobs"`
 }
 
 type snapshotConfig struct {
@@ -94,6 +99,7 @@ func (f *Fleet) snapshotState() snapshotFile {
 		Format:       snapshotFormat,
 		SavedVirtual: f.sim.Now(),
 		Sealed:       f.sim.Sealed(),
+		Gen:          f.gen,
 		Config:       f.snapshotConfig(),
 		Jobs:         make([]snapJob, 0, len(f.jobs)),
 	}

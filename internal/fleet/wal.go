@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -25,15 +27,91 @@ import (
 // a torn final record — the expected artifact of a crash mid-append —
 // detectable: recovery keeps the longest valid prefix, truncates the
 // rest, and logs a warning instead of refusing to start.
+//
+// Since PR 6 the same framing is also the replication transport: a
+// leader streams WAL records to a warm-standby follower inside
+// identical length+CRC frames (internal/replication), so a torn or
+// bit-flipped frame on the wire is detected exactly like a torn tail
+// on disk. FrameReader is the shared streaming decoder for both.
 
-// walHeaderSize is the fixed per-record header: length + CRC.
+// walHeaderSize is the fixed per-frame header: length + CRC.
 const walHeaderSize = 8
 
-// walMaxRecord bounds a single record; a longer length prefix is
-// treated as tail corruption rather than attempted as an allocation.
+// walMaxRecord bounds a single frame; a longer length prefix is
+// treated as corruption rather than attempted as an allocation.
 const walMaxRecord = 16 << 20
 
 var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTornFrame is returned by FrameReader.Next when the stream ends
+// mid-frame or a frame fails its CRC: the bytes from the current
+// offset on cannot be trusted. On disk this is a torn tail (recovery
+// truncates it); on the replication transport it is a damaged or
+// half-delivered frame (the follower reconnects and resumes at its
+// last applied record offset).
+var ErrTornFrame = errors.New("fleet: torn or corrupt frame")
+
+// EncodeFrame wraps payload in the WAL's length+CRC framing. The same
+// encoding is used for on-disk WAL records and replication frames.
+func EncodeFrame(payload []byte) []byte {
+	buf := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, walCRCTable))
+	copy(buf[walHeaderSize:], payload)
+	return buf
+}
+
+// FrameReader is a streaming iterator over length-prefixed CRC-checked
+// frames: the WAL file during recovery, or a replication stream on the
+// wire. It consumes the underlying reader frame by frame, tracking the
+// byte offset of the end of the last intact frame — which is exactly
+// the resume point after a torn tail (truncate there) or a dropped
+// connection (reconnect and continue from the last applied record).
+type FrameReader struct {
+	r      io.Reader
+	offset int64 // end of the last intact frame
+	frames int   // intact frames returned so far
+}
+
+// NewFrameReader returns an iterator reading frames from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next returns the next frame's payload. It returns io.EOF at a clean
+// frame boundary and ErrTornFrame when the stream ends mid-frame, the
+// length prefix is absurd, or the payload fails its CRC — in every
+// torn case Offset still reports the end of the last intact frame.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var header [walHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, header[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end
+		}
+		return nil, ErrTornFrame // short header
+	}
+	length := binary.LittleEndian.Uint32(header[0:4])
+	sum := binary.LittleEndian.Uint32(header[4:8])
+	if length == 0 || length > walMaxRecord {
+		return nil, ErrTornFrame
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, ErrTornFrame // short payload
+	}
+	if crc32.Checksum(payload, walCRCTable) != sum {
+		return nil, ErrTornFrame // corrupt payload
+	}
+	fr.offset += int64(walHeaderSize) + int64(length)
+	fr.frames++
+	return payload, nil
+}
+
+// Offset returns the byte offset of the end of the last intact frame.
+func (fr *FrameReader) Offset() int64 { return fr.offset }
+
+// Frames returns the number of intact frames returned so far.
+func (fr *FrameReader) Frames() int { return fr.frames }
 
 // Sync policies for WAL appends.
 const (
@@ -67,70 +145,64 @@ type wal struct {
 
 // openWAL opens (creating if needed) the log at path, replays every
 // intact record, truncates any torn tail, and returns the log
-// positioned for appends plus the recovered records. torn reports
-// whether a corrupt tail was dropped.
-func openWAL(path string, syncPolicy string) (w *wal, recs []walRecord, torn bool, err error) {
+// positioned for appends plus the recovered records. dropped is the
+// number of torn/corrupt tail bytes that had to be discarded (0 for a
+// clean log).
+func openWAL(path string, syncPolicy string) (w *wal, recs []walRecord, dropped int64, err error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("fleet: opening wal: %w", err)
+		return nil, nil, 0, fmt.Errorf("fleet: opening wal: %w", err)
 	}
-	recs, good, torn, err := scanWAL(f)
+	recs, good, dropped, err := scanWAL(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, false, err
+		return nil, nil, 0, err
 	}
-	if torn {
+	if dropped > 0 {
 		if err := f.Truncate(good); err != nil {
 			f.Close()
-			return nil, nil, false, fmt.Errorf("fleet: truncating torn wal tail: %w", err)
+			return nil, nil, 0, fmt.Errorf("fleet: truncating torn wal tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
-		return nil, nil, false, fmt.Errorf("fleet: seeking wal: %w", err)
+		return nil, nil, 0, fmt.Errorf("fleet: seeking wal: %w", err)
 	}
 	return &wal{
 		f:       f,
 		path:    path,
 		sync:    syncPolicy != SyncOS,
 		records: len(recs),
-	}, recs, torn, nil
+	}, recs, dropped, nil
 }
 
-// scanWAL reads records from the start of f, returning the decoded
-// records, the byte offset of the end of the last intact record, and
-// whether trailing bytes past that offset had to be discarded.
-func scanWAL(f *os.File) (recs []walRecord, good int64, torn bool, err error) {
-	r := io.Reader(f)
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, false, fmt.Errorf("fleet: seeking wal: %w", err)
+// scanWAL streams records from the start of f via a FrameReader,
+// returning the decoded records, the byte offset of the end of the
+// last intact record, and how many trailing bytes past that offset
+// would have to be discarded.
+func scanWAL(f *os.File) (recs []walRecord, good int64, dropped int64, err error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("fleet: sizing wal: %w", err)
 	}
-	var header [walHeaderSize]byte
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, fmt.Errorf("fleet: seeking wal: %w", err)
+	}
+	fr := NewFrameReader(bufio.NewReader(f))
 	for {
-		if _, err := io.ReadFull(r, header[:]); err != nil {
-			if err == io.EOF {
-				return recs, good, torn, nil // clean end
-			}
-			return recs, good, true, nil // short header: torn tail
-		}
-		length := binary.LittleEndian.Uint32(header[0:4])
-		sum := binary.LittleEndian.Uint32(header[4:8])
-		if length == 0 || length > walMaxRecord {
-			return recs, good, true, nil
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return recs, good, true, nil // short payload: torn tail
-		}
-		if crc32.Checksum(payload, walCRCTable) != sum {
-			return recs, good, true, nil // corrupt record: stop at the prefix
+		payload, err := fr.Next()
+		if err != nil {
+			// Clean EOF or a torn tail: either way the intact prefix
+			// ends at fr.Offset() and everything past it is damage.
+			return recs, fr.Offset(), size - fr.Offset(), nil
 		}
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, good, true, nil // CRC passed but not our JSON
+			// CRC passed but not our JSON: stop at the intact prefix.
+			good := fr.Offset() - int64(walHeaderSize) - int64(len(payload))
+			return recs, good, size - good, nil
 		}
 		recs = append(recs, rec)
-		good += int64(walHeaderSize) + int64(length)
 	}
 }
 
@@ -142,13 +214,15 @@ func (w *wal) append(rec walRecord, flush bool) error {
 	if err != nil {
 		return fmt.Errorf("fleet: encoding wal record: %w", err)
 	}
-	var header [walHeaderSize]byte
-	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, walCRCTable))
-	if _, err := w.f.Write(header[:]); err != nil {
-		return fmt.Errorf("fleet: appending wal record: %w", err)
-	}
-	if _, err := w.f.Write(payload); err != nil {
+	return w.appendPayload(payload, flush)
+}
+
+// appendPayload writes one pre-marshaled record payload. The admission
+// path marshals each record exactly once and reuses the bytes for the
+// WAL append and the replication feed, so leader and follower logs are
+// byte-identical.
+func (w *wal) appendPayload(payload []byte, flush bool) error {
+	if _, err := w.f.Write(EncodeFrame(payload)); err != nil {
 		return fmt.Errorf("fleet: appending wal record: %w", err)
 	}
 	w.records++

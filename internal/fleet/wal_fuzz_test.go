@@ -64,11 +64,11 @@ func FuzzWALRecovery(f *testing.F) {
 		}
 		w.close()
 
-		w2, recs2, torn2, err := openWAL(path, SyncOS)
+		w2, recs2, dropped2, err := openWAL(path, SyncOS)
 		if err != nil {
 			t.Fatalf("reopen after recovery: %v", err)
 		}
-		if torn2 {
+		if dropped2 != 0 {
 			t.Fatal("tail still torn after recovery truncated it")
 		}
 		if !reflect.DeepEqual(recs, recs2) {
@@ -79,9 +79,9 @@ func FuzzWALRecovery(f *testing.F) {
 			t.Fatalf("append to recovered log: %v", err)
 		}
 		w2.close()
-		w3, recs3, torn3, err := openWAL(path, SyncOS)
-		if err != nil || torn3 {
-			t.Fatalf("reopen after append: err=%v torn=%v", err, torn3)
+		w3, recs3, dropped3, err := openWAL(path, SyncOS)
+		if err != nil || dropped3 != 0 {
+			t.Fatalf("reopen after append: err=%v dropped=%d", err, dropped3)
 		}
 		if len(recs3) != len(recs2)+1 || recs3[len(recs3)-1].Kind != walKindSeal {
 			t.Fatalf("append lost: %d records after appending to %d", len(recs3), len(recs2))

@@ -14,12 +14,12 @@ func walJob(id int) *snapJob {
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, recs, torn, err := openWAL(path, SyncAlways)
+	w, recs, dropped, err := openWAL(path, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 || torn {
-		t.Fatalf("fresh wal: recs=%d torn=%v", len(recs), torn)
+	if len(recs) != 0 || dropped != 0 {
+		t.Fatalf("fresh wal: recs=%d dropped=%d", len(recs), dropped)
 	}
 	for i := 0; i < 10; i++ {
 		if err := w.append(walRecord{Kind: walKindAdmit, Job: walJob(i)}, true); err != nil {
@@ -34,12 +34,12 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 	w.close()
 
-	w2, recs, torn, err := openWAL(path, SyncAlways)
+	w2, recs, dropped, err := openWAL(path, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w2.close()
-	if torn {
+	if dropped != 0 {
 		t.Fatal("clean log reported torn")
 	}
 	if len(recs) != 11 || w2.records != 11 {
@@ -79,11 +79,11 @@ func TestWALTornTailTruncatedRecord(t *testing.T) {
 	f.Write([]byte{42, 0, 0, 0, 99, 99}) // short header+payload fragment
 	f.Close()
 
-	w2, recs, torn, err := openWAL(path, SyncAlways)
+	w2, recs, dropped, err := openWAL(path, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !torn {
+	if dropped == 0 {
 		t.Fatal("torn tail not reported")
 	}
 	if len(recs) != 5 {
@@ -97,12 +97,12 @@ func TestWALTornTailTruncatedRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	w2.close()
-	_, recs, torn, err = openWAL(path, SyncAlways)
+	_, recs, dropped, err = openWAL(path, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if torn || len(recs) != 6 {
-		t.Fatalf("after repair+append: torn=%v records=%d", torn, len(recs))
+	if dropped != 0 || len(recs) != 6 {
+		t.Fatalf("after repair+append: dropped=%d records=%d", dropped, len(recs))
 	}
 }
 
@@ -130,12 +130,12 @@ func TestWALTornTailCRCMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, recs, torn, err := openWAL(path, SyncAlways)
+	_, recs, dropped, err := openWAL(path, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !torn || len(recs) != 2 {
-		t.Fatalf("corrupt tail: torn=%v records=%d, want torn with 2 intact", torn, len(recs))
+	if dropped == 0 || len(recs) != 2 {
+		t.Fatalf("corrupt tail: dropped=%d records=%d, want torn with 2 intact", dropped, len(recs))
 	}
 }
 
@@ -157,12 +157,12 @@ func TestWALTornTailBogusLength(t *testing.T) {
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(nil, walCRCTable))
 	f.Write(hdr[:])
 	f.Close()
-	_, recs, torn, err := openWAL(path, SyncAlways)
+	_, recs, dropped, err := openWAL(path, SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !torn || len(recs) != 1 {
-		t.Fatalf("bogus length: torn=%v records=%d", torn, len(recs))
+	if dropped == 0 || len(recs) != 1 {
+		t.Fatalf("bogus length: dropped=%d records=%d", dropped, len(recs))
 	}
 }
 
@@ -188,12 +188,12 @@ func TestWALRewindAndReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.close()
-	_, recs, torn, err := openWAL(path, SyncOS)
+	_, recs, dropped, err := openWAL(path, SyncOS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if torn || len(recs) != 2 || recs[1].Kind != walKindSeal {
-		t.Fatalf("after rewind+append: torn=%v recs=%+v", torn, recs)
+	if dropped != 0 || len(recs) != 2 || recs[1].Kind != walKindSeal {
+		t.Fatalf("after rewind+append: dropped=%d recs=%+v", dropped, recs)
 	}
 
 	w2, _, _, err := openWAL(path, SyncOS)

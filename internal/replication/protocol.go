@@ -1,0 +1,97 @@
+// Package replication implements warm-standby high availability for
+// energyschedd: a follower daemon continuously mirrors every fleet of
+// a leader by streaming the leader's admission log and applying it
+// through the same deterministic engine, so promotion lands on state
+// byte-identical to the leader's (the same argument that makes crash
+// recovery byte-identical — the log IS the state).
+//
+// The wire protocol is deliberately the WAL's own on-disk framing
+// (length prefix + CRC-32C, internal/fleet.EncodeFrame): a torn or
+// bit-flipped frame on the wire is detected exactly like a torn WAL
+// tail on disk, and the follower reconnects and resumes at its last
+// applied record offset. Inside each CRC frame is one JSON Frame:
+//
+//	hello     stream opening: the fleet's generation, head and clock
+//	snapshot  full-state bootstrap (generation mismatch or unservable
+//	          offset)
+//	record    one admission-log record with the leader's clock
+//	ping      keepalive carrying the leader's clock and head, so an
+//	          idle follower still tracks lag and virtual time
+//
+// The stream is a plain chunked HTTP response from
+// GET /v1/fleets/{id}/replicate?gen=G&offset=O — resumable by logical
+// record offset, which unlike a WAL byte offset never rewinds when
+// the leader compacts its log.
+package replication
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"energysched/internal/fleet"
+)
+
+// Frame kinds.
+const (
+	KindHello    = "hello"
+	KindSnapshot = "snapshot"
+	KindRecord   = "record"
+	KindPing     = "ping"
+)
+
+// Frame is one message of the replication stream.
+type Frame struct {
+	Kind string `json:"kind"`
+	// Gen is the fleet's timeline generation (hello, snapshot).
+	Gen int64 `json:"gen,omitempty"`
+	// Head is the leader's log offset (hello, ping).
+	Head int64 `json:"head,omitempty"`
+	// Offset is the log offset after applying this frame (snapshot,
+	// record).
+	Offset int64 `json:"offset,omitempty"`
+	// Now is the leader's virtual clock (hello, record, ping).
+	Now float64 `json:"now,omitempty"`
+	// Snapshot is the marshaled fleet snapshot (snapshot frames).
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	// Record is the marshaled WAL record — the exact bytes the leader
+	// appended to its own log (record frames).
+	Record json.RawMessage `json:"record,omitempty"`
+}
+
+// WriteFrame encodes one frame inside the WAL's CRC framing.
+func WriteFrame(w io.Writer, fr Frame) error {
+	payload, err := json.Marshal(fr)
+	if err != nil {
+		return fmt.Errorf("replication: encoding frame: %w", err)
+	}
+	if _, err := w.Write(fleet.EncodeFrame(payload)); err != nil {
+		return fmt.Errorf("replication: writing frame: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads CRC-checked frames off a replication stream.
+type Decoder struct {
+	fr *fleet.FrameReader
+}
+
+// NewDecoder returns a decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{fr: fleet.NewFrameReader(r)}
+}
+
+// Next returns the next frame. io.EOF marks a clean stream end;
+// fleet.ErrTornFrame a damaged or half-delivered frame — in both
+// cases the caller reconnects and resumes at its applied offset.
+func (d *Decoder) Next() (Frame, error) {
+	payload, err := d.fr.Next()
+	if err != nil {
+		return Frame{}, err
+	}
+	var fr Frame
+	if err := json.Unmarshal(payload, &fr); err != nil {
+		return Frame{}, fmt.Errorf("replication: decoding frame: %w", err)
+	}
+	return fr, nil
+}

@@ -24,11 +24,13 @@ import (
 	"net/http"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"energysched"
 	"energysched/internal/fleet"
 	"energysched/internal/metrics"
+	"energysched/internal/replication"
 )
 
 // DefaultFleet is the fleet the PR 3 alias routes address.
@@ -93,6 +95,23 @@ type Config struct {
 	// Fleets are additional fleets to ensure at startup, next to
 	// DefaultFleet (fleets recovered from the WAL manifest win).
 	Fleets []FleetSeed
+	// Follow, when set, starts the daemon as a warm-standby follower
+	// of the leader at this base URL: it mirrors every leader fleet by
+	// streaming the admission log, rejects writes with 503, and flips
+	// to serving on POST /v1/promote (or leader-loss detection). No
+	// fleets are seeded in follower mode — they come from the leader.
+	Follow string
+	// PromoteGrace, when > 0 in follower mode, arms leader-loss
+	// detection: the follower promotes itself once no exchange with
+	// the leader has succeeded for this long. 0 = manual promote only.
+	PromoteGrace time.Duration
+	// FollowPoll overrides the follower's fleet-discovery period
+	// (default 1s).
+	FollowPoll time.Duration
+	// ReplPing overrides the leader's replication keepalive period
+	// (default 500ms): pings carry the leader's clock and log head so
+	// idle followers still track lag and virtual time.
+	ReplPing time.Duration
 	// Logf, when non-nil, receives daemon log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -119,6 +138,13 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 	mgr *fleet.Manager
+
+	// roleMu guards the role state. A daemon starts as a leader, or —
+	// with Config.Follow — as a follower that may later be promoted;
+	// it never demotes.
+	roleMu    sync.Mutex
+	follower  *replication.Follower // nil once (or when) leading
+	promoting bool
 }
 
 // New builds a daemon: it opens the fleet registry (recovering every
@@ -135,6 +161,34 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.mgr = mgr
+	if s.cfg.Follow != "" {
+		// Follower: no seeds and no registry cap — every fleet is a
+		// mirror of the leader's and must always come up.
+		s.follower = replication.NewFollower(replication.Config{
+			Leader:  s.cfg.Follow,
+			Manager: mgr,
+			MirrorConfig: func(id string) fleet.Config {
+				fc := s.fleetConfig(id, energysched.FleetSpec{ID: id})
+				// Max pacing: the mirror's clock advances only through
+				// replicated records and pings, never on its own.
+				fc.Pace = 0
+				return fc
+			},
+			PollInterval: s.cfg.FollowPoll,
+			Grace:        s.cfg.PromoteGrace,
+			OnLeaderLoss: func() {
+				if _, err := s.promote(); err != nil {
+					s.logf("server: auto-promote failed: %v", err)
+				} else {
+					s.logf("server: leader lost; promoted to leader")
+				}
+			},
+			Logf: s.cfg.Logf,
+		})
+		s.routes()
+		s.follower.Run()
+		return s, nil
+	}
 	seeds := append([]FleetSeed{{ID: DefaultFleet}}, s.cfg.Fleets...)
 	for _, seed := range seeds {
 		if seed.ID == "" || mgr.Has(seed.ID) {
@@ -149,6 +203,54 @@ func New(cfg Config) (*Server, error) {
 	mgr.SetMaxFleets(s.cfg.MaxFleets)
 	s.routes()
 	return s, nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Role returns "leader" or "follower".
+func (s *Server) Role() string {
+	if s.isFollower() {
+		return "follower"
+	}
+	return "leader"
+}
+
+func (s *Server) isFollower() bool {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	return s.follower != nil
+}
+
+// promote flips a follower to serving leader: replication stops, every
+// mirrored fleet seals catch-up, and writes are accepted from then on.
+func (s *Server) promote() (map[string]int64, error) {
+	s.roleMu.Lock()
+	fw := s.follower
+	if fw == nil {
+		s.roleMu.Unlock()
+		return nil, &fleet.Error{Status: http.StatusConflict, Msg: "already the leader"}
+	}
+	if s.promoting {
+		s.roleMu.Unlock()
+		return nil, &fleet.Error{Status: http.StatusConflict, Msg: "promotion already in progress"}
+	}
+	s.promoting = true
+	s.roleMu.Unlock()
+
+	offs, err := fw.Promote()
+	s.roleMu.Lock()
+	if err == nil {
+		s.follower = nil
+		// The ex-follower now gates API fleet creation like any leader.
+		s.mgr.SetMaxFleets(s.cfg.MaxFleets)
+	}
+	s.promoting = false
+	s.roleMu.Unlock()
+	return offs, err
 }
 
 // fleetConfig derives one fleet's configuration: the daemon's base
@@ -213,8 +315,17 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops every fleet. In-flight requests receive 503.
-func (s *Server) Close() { s.mgr.Close() }
+// Close stops replication (if following) and every fleet. In-flight
+// requests receive 503.
+func (s *Server) Close() {
+	s.roleMu.Lock()
+	fw := s.follower
+	s.roleMu.Unlock()
+	if fw != nil {
+		fw.Close()
+	}
+	s.mgr.Close()
+}
 
 // Manager exposes the fleet registry (tests and embedders).
 func (s *Server) Manager() *fleet.Manager { return s.mgr }
@@ -246,7 +357,28 @@ func writeErr(w http.ResponseWriter, err error) {
 	} else if errors.Is(err, fleet.ErrClosed) {
 		status = http.StatusServiceUnavailable
 	}
+	if status == http.StatusTooManyRequests {
+		// The fleet-cap rejection is transient from the client's view
+		// (fleets get deleted); give retrying clients a backoff hint.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, energysched.APIError{Status: status, Message: err.Error()})
+}
+
+// gateWrites rejects state-changing requests on a follower: its
+// timelines belong to the leader. Returns false when the request was
+// rejected. 503 (not 409) so the client RetryPolicy rides out a
+// promotion transparently.
+func (s *Server) gateWrites(w http.ResponseWriter) bool {
+	if !s.isFollower() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, energysched.APIError{
+		Status:  http.StatusServiceUnavailable,
+		Message: "this daemon is a follower; send writes to the leader or POST /v1/promote",
+	})
+	return false
 }
 
 func (s *Server) routes() {
@@ -268,6 +400,11 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("POST "+p+"/restore", s.handleRestore)
 		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
 	}
+	// Replication & failover (PR 6).
+	s.mux.HandleFunc("GET /v1/fleets/{fleet}/replicate", s.handleReplicate)
+	s.mux.HandleFunc("GET /v1/fleets/{fleet}/status", s.handleFleetStatus)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
@@ -285,6 +422,9 @@ func (s *Server) fleetFor(r *http.Request) (*fleet.Fleet, error) {
 // --- fleet registry handlers ---
 
 func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	var spec energysched.FleetSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
 		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "decoding fleet spec: " + err.Error()})
@@ -342,6 +482,9 @@ func (s *Server) handleFleetInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	id := r.PathValue("fleet")
 	if err := s.mgr.Delete(id); err != nil {
 		writeErr(w, err)
@@ -356,6 +499,9 @@ func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 // (body = JSON array of JobSpec), the batch atomically in one
 // event-loop turn.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	f, err := s.fleetFor(r)
 	if err != nil {
 		writeErr(w, err)
@@ -456,6 +602,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	f, err := s.fleetFor(r)
 	if err != nil {
 		writeErr(w, err)
@@ -489,6 +638,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if !s.gateWrites(w) {
+		return
+	}
 	f, err := s.fleetFor(r)
 	if err != nil {
 		writeErr(w, err)
@@ -520,15 +672,219 @@ func decodePath(r *http.Request) (string, error) {
 	return body.Path, nil
 }
 
+// --- replication & failover ---
+
+// defaultReplPing is the leader's keepalive period on replication
+// streams.
+const defaultReplPing = 500 * time.Millisecond
+
+// handleReplicate streams one fleet's admission log: a hello frame,
+// then the snapshot or record backlog that brings the caller level,
+// then live records as they commit, with periodic pings carrying the
+// leader's clock and head. Frames are CRC-wrapped exactly like WAL
+// records on disk (GET /v1/fleets/{id}/replicate?gen=G&offset=O).
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &fleet.Error{Status: http.StatusInternalServerError, Msg: "streaming unsupported"})
+		return
+	}
+	gen, _ := strconv.ParseInt(r.URL.Query().Get("gen"), 10, 64)
+	offset, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+	sess, err := f.ReplSubscribe(gen, offset)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer f.ReplUnsubscribe(sess)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	send := func(fr replication.Frame) bool {
+		return replication.WriteFrame(w, fr) == nil
+	}
+	if !send(replication.Frame{Kind: replication.KindHello, Gen: sess.Gen, Head: sess.Head, Now: sess.Now}) {
+		return
+	}
+	if sess.Snapshot != nil {
+		if !send(replication.Frame{
+			Kind: replication.KindSnapshot, Gen: sess.Gen,
+			Offset: sess.Start, Now: sess.Now, Snapshot: sess.Snapshot,
+		}) {
+			return
+		}
+	} else {
+		for _, rec := range sess.Backlog {
+			if !send(replication.Frame{
+				Kind: replication.KindRecord, Offset: rec.Offset, Now: rec.Now, Record: rec.Data,
+			}) {
+				return
+			}
+		}
+	}
+	// Backlog records carry no clock; this ping catches the follower
+	// up to the leader's virtual time.
+	if !send(replication.Frame{Kind: replication.KindPing, Head: sess.Head, Now: sess.Now}) {
+		return
+	}
+	fl.Flush()
+
+	pingEvery := s.cfg.ReplPing
+	if pingEvery <= 0 {
+		pingEvery = defaultReplPing
+	}
+	ping := time.NewTicker(pingEvery)
+	defer ping.Stop()
+	for {
+		select {
+		case rec, ok := <-sess.Ch:
+			if !ok {
+				return // cut loose as a slow consumer, or fleet closed
+			}
+			if !send(replication.Frame{
+				Kind: replication.KindRecord, Offset: rec.Offset, Now: rec.Now, Record: rec.Data,
+			}) {
+				return
+			}
+			for len(sess.Ch) > 0 {
+				if rec, ok = <-sess.Ch; !ok {
+					return
+				}
+				if !send(replication.Frame{
+					Kind: replication.KindRecord, Offset: rec.Offset, Now: rec.Now, Record: rec.Data,
+				}) {
+					return
+				}
+			}
+			fl.Flush()
+		case <-ping.C:
+			_, head, now, err := f.ReplState()
+			if err != nil {
+				return
+			}
+			if !send(replication.Frame{Kind: replication.KindPing, Head: head, Now: now}) {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleFleetStatus reports one fleet's role and replication position
+// (GET /v1/fleets/{id}/status).
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := f.Info()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	gen, offset, now, err := f.ReplState()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st := energysched.FleetStatus{
+		ID: info.ID, Role: s.Role(), Now: now,
+		Sealed: info.Sealed, Done: info.Done, Jobs: info.Jobs,
+		Replication:            energysched.ReplicationStatus{Gen: gen, Offset: offset},
+		WAL:                    info.WAL,
+		LastSnapshotAgeSeconds: -1,
+	}
+	if info.WAL != nil && info.WAL.LastSnapshotUnix > 0 {
+		st.LastSnapshotAgeSeconds = time.Since(time.Unix(info.WAL.LastSnapshotUnix, 0)).Seconds()
+	}
+	s.roleMu.Lock()
+	fw := s.follower
+	s.roleMu.Unlock()
+	if fw != nil {
+		if pos, ok := fw.Status()[info.ID]; ok {
+			st.Replication.LeaderOffset = pos.LeaderHead
+			st.Replication.Lag = pos.Lag()
+			st.Replication.LastContactUnix = pos.LastContact.Unix()
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleHealth reports the daemon's role and readiness
+// (GET /v1/health). A follower is ready once it has reached the
+// leader and every mirrored fleet is fully caught up.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := energysched.HealthStatus{Role: s.Role(), Fleets: s.mgr.Len()}
+	s.roleMu.Lock()
+	fw := s.follower
+	s.roleMu.Unlock()
+	if fw == nil {
+		h.Ready = true
+		writeJSON(w, http.StatusOK, h)
+		return
+	}
+	h.Leader = s.cfg.Follow
+	h.MaxLag = fw.MaxLag()
+	h.Ready = fw.Ready()
+	h.Replication = make(map[string]energysched.ReplicationStatus)
+	for id, pos := range fw.Status() {
+		h.Replication[id] = energysched.ReplicationStatus{
+			Gen: pos.Gen, Offset: pos.Applied,
+			LeaderOffset: pos.LeaderHead, Lag: pos.Lag(),
+			LastContactUnix: pos.LastContact.Unix(),
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handlePromote flips a follower to serving leader (POST /v1/promote).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	offs, err := s.promote()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("server: promoted to leader (%d fleets)", len(offs))
+	writeJSON(w, http.StatusOK, energysched.PromoteInfo{Role: "leader", Fleets: offs})
+}
+
 // --- aggregated endpoints ---
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fleets := s.mgr.List()
-	sets := make([][]metrics.PromSample, 0, len(fleets)+1)
+	sets := make([][]metrics.PromSample, 0, len(fleets)+2)
 	sets = append(sets, []metrics.PromSample{{
 		Name: "energysched_fleets", Help: "Fleets hosted by this daemon.",
 		Kind: metrics.PromGauge, Value: float64(len(fleets)),
+	}, {
+		Name: "energysched_role", Help: "Daemon role (1 = active role).",
+		Kind: metrics.PromGauge, Value: 1,
+		Labels: map[string]string{"role": s.Role()},
 	}})
+	s.roleMu.Lock()
+	fw := s.follower
+	s.roleMu.Unlock()
+	if fw != nil {
+		lags := make([]metrics.PromSample, 0, 2)
+		for id, pos := range fw.Status() {
+			lags = append(lags, metrics.PromSample{
+				Name: "energysched_replication_lag_records",
+				Help: "Records this follower is behind the leader.",
+				Kind: metrics.PromGauge, Value: float64(pos.Lag()),
+				Labels: map[string]string{"fleet": id},
+			})
+		}
+		sets = append(sets, lags)
+	}
 	for _, f := range fleets {
 		samples, err := f.Metrics()
 		if err != nil {
