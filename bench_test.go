@@ -11,6 +11,7 @@ package energysched
 import (
 	"testing"
 
+	"energysched/internal/chaos"
 	"energysched/internal/cluster"
 	"energysched/internal/core"
 	"energysched/internal/datacenter"
@@ -456,4 +457,25 @@ func BenchmarkExtensionEconomics(b *testing.B) {
 		profit = out.Profit
 	}
 	b.ReportMetric(profit, "profit")
+}
+
+// One chaos scale scenario per iteration: a 2k-node heterogeneous
+// fleet on a one-day streaming trace with injected crashes and a
+// flapping node — the CI-sized cousin of the 10k-node acceptance
+// scenario in internal/chaos, tracking the cost of running the
+// simulator at fleet scale.
+func BenchmarkScenarioChaos2k(b *testing.B) {
+	s := chaos.Scenario10k()
+	s.Name = "2k-1day"
+	s.Nodes = 2000
+	s.Days = 1
+	var failures int
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Run(0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		failures = rep.Failures
+	}
+	b.ReportMetric(float64(failures), "failures")
 }

@@ -5,6 +5,11 @@
 //
 //	go test -run '^$' -bench . -benchtime=1x . | benchjson -o BENCH_6.json
 //
+// Gate mode compares two artifacts and exits non-zero when any
+// benchmark present in both regressed beyond tolerance:
+//
+//	benchjson -compare BENCH_ci.json -against BENCH_6.json -tolerance 0.15
+//
 // Lines that are not benchmark results (the paper tables the
 // benchmarks print, pass/fail trailers, etc.) are ignored, so the
 // tool can consume the raw test output verbatim.
@@ -49,7 +54,37 @@ type Artifact struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the artifact (e.g. the PR number)")
+	compare := flag.String("compare", "", "gate mode: candidate artifact to check for regressions (needs -against)")
+	against := flag.String("against", "", "gate mode: baseline artifact to compare -compare with")
+	tolerance := flag.Float64("tolerance", 0.15, "gate mode: allowed fractional ns/op slowdown before failing")
 	flag.Parse()
+
+	if *compare != "" || *against != "" {
+		if *compare == "" || *against == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: gate mode needs both -compare and -against")
+			os.Exit(2)
+		}
+		cand, err := load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		base, err := load(*against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regressions, checked := gate(cand, base, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared against %s (tolerance %.0f%%), %d regressed\n",
+			checked, *against, *tolerance*100, len(regressions))
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	art, err := parse(os.Stdin)
 	if err != nil {
@@ -72,6 +107,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func load(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// gate compares candidate ns/op against the baseline for every
+// benchmark present in both (keyed by name and GOMAXPROCS), returning
+// a description of each regression beyond tolerance and the number of
+// benchmarks actually compared. Benchmarks with no ns/op figure on
+// either side, or only present on one, are skipped — new benchmarks
+// must not fail the gate, and -benchtime=1x smoke runs report real
+// ns/op for everything that matters.
+func gate(cand, base *Artifact, tolerance float64) (regressions []string, checked int) {
+	key := func(b Benchmark) string { return fmt.Sprintf("%s-%d", b.Name, b.Procs) }
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if b.NsPerOp > 0 {
+			baseline[key(b)] = b.NsPerOp
+		}
+	}
+	for _, b := range cand.Benchmarks {
+		want, ok := baseline[key(b)]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		checked++
+		if b.NsPerOp > want*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				b.Name, b.NsPerOp, want, (b.NsPerOp/want-1)*100, tolerance*100))
+		}
+	}
+	return regressions, checked
 }
 
 func parse(r io.Reader) (*Artifact, error) {

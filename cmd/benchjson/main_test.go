@@ -48,3 +48,36 @@ func TestParseLineUnsuffixedName(t *testing.T) {
 		t.Fatalf("parsed %+v ok=%v", b, ok)
 	}
 }
+
+// The CI gate: slower-than-tolerance benchmarks regress, faster or
+// within-tolerance ones pass, and benchmarks missing a side (renamed,
+// new, or without ns/op) are skipped rather than failed.
+func TestGate(t *testing.T) {
+	mk := func(name string, procs int, ns float64) Benchmark {
+		return Benchmark{Name: name, Procs: procs, Iterations: 1, NsPerOp: ns}
+	}
+	base := &Artifact{Benchmarks: []Benchmark{
+		mk("BenchmarkA", 8, 1000),
+		mk("BenchmarkB", 8, 1000),
+		mk("BenchmarkGone", 8, 500),
+		mk("BenchmarkZeroed", 8, 0),
+	}}
+	cand := &Artifact{Benchmarks: []Benchmark{
+		mk("BenchmarkA", 8, 1149), // +14.9%: inside a 15% tolerance
+		mk("BenchmarkB", 8, 1200), // +20%: regression
+		mk("BenchmarkNew", 8, 9999),
+		mk("BenchmarkZeroed", 8, 800),
+	}}
+	regressions, checked := gate(cand, base, 0.15)
+	if checked != 2 {
+		t.Fatalf("checked %d benchmarks, want 2 (A and B)", checked)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkB") {
+		t.Fatalf("regressions = %v, want only BenchmarkB", regressions)
+	}
+	// Same GOMAXPROCS key: a procs mismatch is a skip, not a compare.
+	cand.Benchmarks[1].Procs = 4
+	if _, checked := gate(cand, base, 0.15); checked != 1 {
+		t.Fatalf("procs-mismatched benchmark still compared (checked=%d)", checked)
+	}
+}

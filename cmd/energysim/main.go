@@ -41,18 +41,25 @@ func main() {
 		checkpoint = flag.Float64("checkpoint", 0, "checkpoint interval in seconds (0 = off)")
 		adaptive   = flag.Float64("adaptive", 0, "dynamic-λ satisfaction target in percent (0 = static thresholds)")
 		shards     = flag.Int("shards", 0, "solver shards per scheduling round: 0 = serial, -1 = GOMAXPROCS, K = exactly K (results are byte-identical at any setting)")
+		stream     = flag.Bool("stream", false, "stream the workload incrementally (O(1) memory in trace length; results are byte-identical to the materialized run)")
+		nodes      = flag.Int("nodes", 0, "heterogeneous scale fleet of this many nodes (0 = the paper's 100-node fleet)")
 		eventsOut  = flag.String("events", "", "write the JSONL event log to this file")
 		jobsOut    = flag.String("jobs", "", "write per-job outcomes CSV to this file")
 		powerOut   = flag.String("power", "", "write the datacenter power trace CSV to this file")
 	)
 	cli.Parse("energysim")
 
-	trace, err := loadTrace(*traceFile, *gwfFile, *days, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var trace *energysched.Trace
+	if *stream {
+		fmt.Println("workload: streaming (not materialized)")
+	} else {
+		var err error
+		if trace, err = loadTrace(*traceFile, *gwfFile, *days, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %d jobs, %.1f CPU-hours over %.1f days\n",
+			trace.Len(), trace.TotalCPUHours(), trace.Makespan()/86400)
 	}
-	fmt.Printf("workload: %d jobs, %.1f CPU-hours over %.1f days\n",
-		trace.Len(), trace.TotalCPUHours(), trace.Makespan()/86400)
 
 	opts := energysched.Options{
 		Policy:            *policyName,
@@ -65,6 +72,9 @@ func main() {
 		CheckpointSeconds: *checkpoint,
 		AdaptiveTarget:    *adaptive,
 		Shards:            *shards,
+	}
+	if *nodes > 0 {
+		opts.Classes = energysched.ScaleClasses(*nodes)
 	}
 	var closers []func() error
 	if *eventsOut != "" {
@@ -102,7 +112,17 @@ func main() {
 			fmt.Fprintf(w, "%.3f,%.1f\n", t, watts)
 		}
 	}
-	res, err := energysched.Run(opts)
+	var res energysched.Result
+	var err error
+	if *stream {
+		src, serr := loadSource(*traceFile, *gwfFile, *days, *seed)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		res, err = energysched.RunStream(opts, src)
+	} else {
+		res, err = energysched.Run(opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,6 +135,30 @@ func main() {
 	fmt.Println(res)
 	if res.Failures > 0 {
 		fmt.Printf("failures injected: %d\n", res.Failures)
+	}
+}
+
+// loadSource is loadTrace's streaming twin: the same inputs as
+// incremental sources, so week-long files feed the run in O(1) memory.
+// File sources are read lazily; the file closes with the process.
+func loadSource(csvPath, gwfPath string, days float64, seed int64) (energysched.JobSource, error) {
+	switch {
+	case csvPath != "" && gwfPath != "":
+		return nil, fmt.Errorf("give either -trace or -gwf, not both")
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return energysched.StreamTraceCSV(f)
+	case gwfPath != "":
+		f, err := os.Open(gwfPath)
+		if err != nil {
+			return nil, err
+		}
+		return energysched.StreamTraceGWF(f)
+	default:
+		return energysched.GenerateTraceSource(energysched.TraceOptions{Days: days, Seed: seed})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 
+	"energysched/internal/chaos"
 	"energysched/internal/cli"
 	"energysched/internal/experiments"
 	"energysched/internal/workload"
@@ -31,6 +32,8 @@ func main() {
 		step   = flag.Float64("step", 10, "λ grid step in percent")
 		policy = flag.String("policy", "SB", "policy to sweep: SB, SB2, BF, DBF")
 		shards = flag.Int("shards", 0, "solver shards per scheduling round: 0 = serial, -1 = GOMAXPROCS, K = exactly K (grid values are byte-identical at any setting)")
+		nodes  = flag.Int("nodes", 0, "heterogeneous scale fleet of this many nodes (0 = the paper's 100-node fleet)")
+		stream = flag.Bool("stream", false, "stream a fresh copy of the trace into each grid cell (O(1) memory; cells are byte-identical to the materialized sweep)")
 		out    = flag.String("o", "", "output CSV file (empty = stdout)")
 	)
 	cli.Parse("sweep")
@@ -38,12 +41,20 @@ func main() {
 	gen := workload.DefaultGeneratorConfig()
 	gen.Horizon = *days * 24 * 3600
 	gen.Seed = *seed
-	trace, err := workload.Generate(gen)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	cfg := experiments.SweepConfig{Policy: *policy, Shards: *shards}
+	if *nodes > 0 {
+		cfg.Classes = chaos.HeterogeneousClasses(*nodes)
+	}
+	var trace *workload.Trace
+	if *stream {
+		cfg.Source = func() (workload.JobSource, error) { return workload.NewGeneratorSource(gen) }
+	} else {
+		var err error
+		if trace, err = workload.Generate(gen); err != nil {
+			log.Fatal(err)
+		}
+	}
 	for v := 10.0; v <= 90; v += *step {
 		cfg.LambdaMins = append(cfg.LambdaMins, v)
 	}

@@ -66,6 +66,38 @@ func GenerateTrace(opts TraceOptions) *Trace {
 	return workload.MustGenerate(cfg)
 }
 
+// JobSource is a streaming workload: jobs yielded one at a time in
+// submit order, so week-long traces feed a simulation in O(1) memory.
+type JobSource = workload.JobSource
+
+// GenerateTraceSource streams the synthetic Grid5000-like trace
+// without materializing it: the yielded jobs are identical, job for
+// job, to GenerateTrace with the same options.
+func GenerateTraceSource(opts TraceOptions) (JobSource, error) {
+	cfg := workload.DefaultGeneratorConfig()
+	if opts.Days > 0 {
+		cfg.Horizon = opts.Days * 24 * 3600
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.JobsPerDay > 0 {
+		cfg.JobsPerDay = opts.JobsPerDay
+	}
+	return workload.NewGeneratorSource(cfg)
+}
+
+// StreamTraceCSV streams a native CSV trace incrementally (the
+// streaming counterpart of ReadTraceCSV; rows must be submit-sorted).
+func StreamTraceCSV(r io.Reader) (JobSource, error) { return workload.NewCSVSource(r) }
+
+// StreamTraceGWF streams a Grid Workloads Format trace incrementally
+// with default conversion (the streaming counterpart of ReadTraceGWF;
+// rows must be submit-sorted).
+func StreamTraceGWF(r io.Reader) (JobSource, error) {
+	return workload.NewGWFSource(r, workload.ConvertOptions{})
+}
+
 // ReadTraceCSV parses the native CSV trace format (see WriteTraceCSV).
 func ReadTraceCSV(r io.Reader) (*Trace, error) { return workload.ReadCSV(r) }
 
@@ -142,6 +174,32 @@ type NodeClass struct {
 	MigrateCost float64 // seconds (Cm)
 	BootTime    float64 // seconds
 	Reliability float64 // availability in (0, 1]
+}
+
+// ScaleClasses builds the heterogeneous scale fleet the chaos harness
+// uses for 10k-node scenarios (the public form of the mix in
+// internal/chaos.HeterogeneousClasses): 10% big (8 cores), ~60%
+// standard, 20% small, 10% flaky (Frel 0.95). The paper evaluates 100
+// homogeneous-capacity machines; scale runs deliberately mix
+// capacities, operation costs and reliability instead.
+func ScaleClasses(total int) []NodeClass {
+	if total < 10 {
+		total = 10
+	}
+	big, small, flaky := total/10, total/5, total/10
+	std := total - big - small - flaky
+	mk := func(name string, count int, cpu, mem, cc, cm, rel float64) NodeClass {
+		return NodeClass{
+			Name: name, Count: count, CPU: cpu, Mem: mem,
+			CreateCost: cc, MigrateCost: cm, BootTime: 100, Reliability: rel,
+		}
+	}
+	return []NodeClass{
+		mk("big", big, 800, 200, 30, 40, 1.0),
+		mk("std", std, 400, 100, 40, 60, 1.0),
+		mk("small", small, 200, 50, 60, 80, 1.0),
+		mk("flaky", flaky, 400, 100, 40, 60, 0.95),
+	}
 }
 
 // Result is the outcome of one run — one row of the paper's tables.
@@ -264,6 +322,33 @@ func Run(opts Options) (Result, error) {
 		return Result{}, err
 	}
 	rep, err := sim.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.JobsCSV != nil {
+		if err := datacenter.WriteJobsCSV(opts.JobsCSV, sim.VMs()); err != nil {
+			return Result{}, err
+		}
+	}
+	return fromReport(rep), nil
+}
+
+// RunStream executes one simulation fed from a streaming source
+// instead of a materialized Options.Trace. The result is
+// byte-identical to Run on the equivalent trace; only peak memory
+// differs (O(1) in trace length instead of O(jobs)).
+func RunStream(opts Options, src JobSource) (Result, error) {
+	if src == nil {
+		return Result{}, fmt.Errorf("energysched: RunStream needs a source")
+	}
+	if opts.Trace != nil {
+		return Result{}, fmt.Errorf("energysched: give RunStream a source or Options.Trace, not both")
+	}
+	sim, err := NewSimulation(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := sim.RunSource(src)
 	if err != nil {
 		return Result{}, err
 	}

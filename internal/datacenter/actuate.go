@@ -220,6 +220,30 @@ func (s *Simulation) onFailure(n *cluster.Node) {
 	s.round()
 }
 
+// CrashNode fails a node immediately, independent of the stochastic
+// reliability model — the chaos harness's injection point. It must be
+// called from inside the engine (an At/After callback), never from a
+// foreign goroutine. The node recovers after MTTR like any organic
+// failure, so repeated crashes on one node spaced further apart than
+// MTTR model flapping. Returns false if the node does not exist or is
+// not currently On (crashing a node that is Off, Down or booting is a
+// no-op, exactly like the organic path).
+func (s *Simulation) CrashNode(id int) bool {
+	n := s.cluster.Node(id)
+	if n == nil || n.State != cluster.On {
+		return false
+	}
+	rt := s.rt[n.ID]
+	if rt.failTimer != nil {
+		// Supersede the organic failure draw; onFailure re-arms nothing
+		// until the node is next powered on.
+		rt.failTimer.Cancel()
+		rt.failTimer = nil
+	}
+	s.onFailure(n)
+	return true
+}
+
 func (s *Simulation) onRepaired(n *cluster.Node) {
 	if n.State != cluster.Down {
 		return

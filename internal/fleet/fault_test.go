@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"energysched"
+	"energysched/internal/workload"
+)
+
+// Live WAL fault injection: the chaos hooks must fail admissions
+// cleanly (rollback, 500, fleet stays writable) and, when rollback is
+// also taken out, degrade to read-only and recover the acknowledged
+// prefix after a restart — never acknowledge what isn't durable.
+
+// TestWALFaultDiskFull fails the sync path for a window, like a full
+// disk: admissions inside the window are rejected with a clean
+// rollback, and once space frees the fleet admits again.
+func TestWALFaultDiskFull(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	full := false
+	cfg := testConfig(dir)
+	cfg.WALFault = func(op string) error {
+		if full && op == "sync" {
+			return errors.New("no space left on device")
+		}
+		return nil
+	}
+	f, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 4, 0)
+
+	full = true
+	at := 4.0 * 30
+	_, serr := f.Submit(energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at})
+	var fe *Error
+	if !errors.As(serr, &fe) || fe.Status != http.StatusInternalServerError {
+		t.Fatalf("disk-full submit error = %v, want a 500", serr)
+	}
+	full = false
+
+	// The rollback was clean: the fleet still admits, and only the
+	// acknowledged jobs survive a kill/reopen.
+	submitN(t, f, 4, 4)
+	info, err := f.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs != 8 {
+		t.Fatalf("jobs after recovery from disk-full = %d, want 8", info.Jobs)
+	}
+	f.Close()
+
+	f2, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := f2.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := drainedReport(t, 8); got != want {
+		t.Fatalf("post-fault recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWALFaultTornWriteGoesReadOnly injects the worst case: an append
+// tears mid-frame AND the rollback fails. The fleet must refuse
+// further admissions (read-only beats divergence), and a reopen must
+// truncate the torn tail and serve exactly the acknowledged prefix —
+// the kill/recover byte-identity oracle under a live fault.
+func TestWALFaultTornWriteGoesReadOnly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	arm := false
+	cfg := testConfig(dir)
+	cfg.SnapshotInterval = 0 // keep every record in the WAL
+	cfg.WALFault = func(op string) error {
+		if !arm {
+			return nil
+		}
+		switch op {
+		case "append":
+			return ErrTornWrite
+		case "rewind":
+			return errors.New("rollback truncate failed")
+		}
+		return nil
+	}
+	f, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 6, 0)
+
+	arm = true
+	at := 6.0 * 30
+	if _, err := f.Submit(energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at}); err == nil {
+		t.Fatal("torn append acknowledged")
+	}
+	arm = false
+
+	// Broken log ⇒ read-only, even though the hook is quiet again.
+	if _, err := f.Submit(energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at}); err == nil {
+		t.Fatal("read-only fleet accepted an admission")
+	}
+	f.Close()
+
+	var warned bool
+	cfg2 := testConfig(dir)
+	cfg2.SnapshotInterval = 0
+	cfg2.Logf = func(format string, args ...interface{}) { warned = true }
+	f2, err := Open("f", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	st, err := f2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.TornTail || st.TruncatedBytes == 0 || st.Replayed != 6 {
+		t.Fatalf("torn-write recovery stats = %+v, want TornTail with 6 replayed", st)
+	}
+	if !warned {
+		t.Error("torn tail truncated without a log line")
+	}
+	got, err := f2.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := drainedReport(t, 6); got != want {
+		t.Fatalf("torn-write recovery diverged from the acknowledged prefix:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSubmitSourceMatchesBatch: streaming a trace into a fleet in
+// small batches is byte-identical to one atomic batch of the
+// materialized trace.
+func TestSubmitSourceMatchesBatch(t *testing.T) {
+	gcfg := workload.DefaultGeneratorConfig()
+	gcfg.Horizon = 12 * 3600
+	tr := workload.MustGenerate(gcfg)
+
+	stream, err := Open("s", Config{Policy: "SB", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	src, err := workload.NewGeneratorSource(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := stream.SubmitSource(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tr.Len() {
+		t.Fatalf("streamed %d jobs, trace has %d", n, tr.Len())
+	}
+	srep, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := Open("b", Config{Policy: "SB", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Close()
+	specs := make([]energysched.JobSpec, 0, tr.Len())
+	for _, j := range tr.Jobs {
+		submit := j.Submit
+		specs = append(specs, energysched.JobSpec{
+			Name: j.Name, CPU: j.CPU, Mem: j.Mem, Duration: j.Duration,
+			Submit: &submit, DeadlineFactor: j.DeadlineFactor,
+		})
+	}
+	if _, err := batch.SubmitBatch(specs); err != nil {
+		t.Fatal(err)
+	}
+	brep, err := batch.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep != brep {
+		t.Fatalf("streamed and batched fleets diverged:\n stream %+v\n batch  %+v", srep, brep)
+	}
+}
+
+// Satellite: the -max-fleets 429 must carry a Retry-After hint like
+// every other transient rejection.
+func TestManagerCapCarriesRetryAfter(t *testing.T) {
+	m, err := NewManager(Options{MaxFleets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Create("one", Config{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Create("two", Config{})
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("cap rejection = %v, want a fleet.Error", err)
+	}
+	if fe.Status != http.StatusTooManyRequests || fe.RetryAfter != 1 {
+		t.Fatalf("cap rejection = status %d retry-after %d, want 429 with retry hint", fe.Status, fe.RetryAfter)
+	}
+}

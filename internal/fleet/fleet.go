@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -74,6 +75,13 @@ type Config struct {
 	// WALSync is the append sync policy: SyncAlways (default) fsyncs
 	// every acknowledged admission, SyncOS leaves flushing to the OS.
 	WALSync string
+	// WALFault, when non-nil, is consulted before every WAL append
+	// ("append"), sync ("sync") and rollback ("rewind"); a non-nil
+	// return fails the op with that error, and ErrTornWrite on an
+	// append additionally leaves half a frame on disk. This is the
+	// chaos harness's live fault-injection hook (disk-full, torn
+	// writes); leave nil in production.
+	WALFault func(op string) error
 	// Logf, when non-nil, receives fleet log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -131,6 +139,10 @@ type WALStats struct {
 type Error struct {
 	Status int
 	Msg    string
+	// RetryAfter, in seconds, hints when the client should retry a
+	// 429/503; the HTTP layer emits it as a Retry-After header, which
+	// the client's RetryPolicy honors.
+	RetryAfter int
 }
 
 // Error implements the error interface.
@@ -231,7 +243,7 @@ func (f *Fleet) recover() (jobs []workload.Job, now float64, sealed bool, err er
 		now = snap.SavedVirtual
 		sealed = snap.Sealed
 	}
-	w, recs, dropped, werr := openWAL(filepath.Join(f.cfg.Dir, walName), f.cfg.WALSync)
+	w, recs, dropped, werr := openWAL(filepath.Join(f.cfg.Dir, walName), f.cfg.WALSync, f.cfg.WALFault)
 	if werr != nil {
 		return nil, 0, false, fmt.Errorf("fleet %s: %w", f.id, werr)
 	}
@@ -443,6 +455,58 @@ func (f *Fleet) SubmitBatch(specs []energysched.JobSpec) ([]energysched.JobStatu
 		return nil, err
 	}
 	return out, serr
+}
+
+// SubmitSource streams a workload into the fleet in submit-ordered
+// batches of batchSize jobs (<= 0 selects 256). Each batch is
+// admitted atomically in one event-loop turn, exactly like
+// SubmitBatch, so a week-long trace feeds a fleet with O(batch)
+// memory; the stream as a whole is NOT atomic — on error the batches
+// already admitted stay admitted, and the returned count reports how
+// many jobs made it in. At max pacing virtual time chases the
+// watermark between batches, which keeps the run byte-identical to a
+// one-shot SubmitBatch of the materialized trace.
+func (f *Fleet) SubmitSource(src workload.JobSource, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	total := 0
+	batch := make([]energysched.JobSpec, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := f.SubmitBatch(batch); err != nil {
+			return err
+		}
+		total += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return total, err
+		}
+		submit := j.Submit
+		batch = append(batch, energysched.JobSpec{
+			Name: j.Name, CPU: j.CPU, Mem: j.Mem, Duration: j.Duration,
+			Submit: &submit, DeadlineFactor: j.DeadlineFactor,
+			FaultTolerance: j.FaultTolerance, Arch: j.Arch, Hypervisor: j.Hypervisor,
+		})
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
 }
 
 // admit validates, logs and injects a batch. Call only from the event

@@ -227,8 +227,15 @@ func (m *Manager) Create(id string, cfg Config) (*Fleet, error) {
 	}
 	if m.max > 0 && len(m.fleets)+len(m.pending) >= m.max {
 		m.mu.Unlock()
-		return nil, errf(http.StatusTooManyRequests,
-			"fleet registry is full (%d of %d); delete a fleet or raise -max-fleets", len(m.fleets), m.max)
+		// Carry a retry hint like the other 429 paths: capacity frees
+		// when a fleet is drained and deleted, so a client RetryPolicy
+		// that honors Retry-After backs off instead of hammering.
+		return nil, &Error{
+			Status: http.StatusTooManyRequests,
+			Msg: fmt.Sprintf("fleet registry is full (%d of %d); delete a fleet or raise -max-fleets",
+				len(m.fleets), m.max),
+			RetryAfter: 1,
+		}
 	}
 	m.pending[id] = struct{}{}
 	m.mu.Unlock()

@@ -135,12 +135,23 @@ const (
 	walKindSeal  = "seal"
 )
 
+// ErrTornWrite is the chaos harness's injected append failure: when a
+// Config.WALFault hook returns it for an "append" op, the wal writes
+// only a prefix of the frame before failing — the on-disk artifact of
+// a crash mid-write — so recovery's torn-tail truncation is exercised
+// against a live fleet instead of a hand-built file.
+var ErrTornWrite = errors.New("fleet: injected torn write")
+
 // wal is an open write-ahead log positioned for appends.
 type wal struct {
 	f       *os.File
 	path    string
 	sync    bool
 	records int // records currently in the file
+	// fault, when set, is consulted before every append ("append"),
+	// fsync ("sync") and rollback ("rewind"); a non-nil return aborts
+	// the op with that error. Fault injection only — nil in production.
+	fault func(op string) error
 }
 
 // openWAL opens (creating if needed) the log at path, replays every
@@ -148,7 +159,7 @@ type wal struct {
 // positioned for appends plus the recovered records. dropped is the
 // number of torn/corrupt tail bytes that had to be discarded (0 for a
 // clean log).
-func openWAL(path string, syncPolicy string) (w *wal, recs []walRecord, dropped int64, err error) {
+func openWAL(path string, syncPolicy string, fault func(op string) error) (w *wal, recs []walRecord, dropped int64, err error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("fleet: opening wal: %w", err)
@@ -173,6 +184,7 @@ func openWAL(path string, syncPolicy string) (w *wal, recs []walRecord, dropped 
 		path:    path,
 		sync:    syncPolicy != SyncOS,
 		records: len(recs),
+		fault:   fault,
 	}, recs, dropped, nil
 }
 
@@ -222,7 +234,20 @@ func (w *wal) append(rec walRecord, flush bool) error {
 // WAL append and the replication feed, so leader and follower logs are
 // byte-identical.
 func (w *wal) appendPayload(payload []byte, flush bool) error {
-	if _, err := w.f.Write(EncodeFrame(payload)); err != nil {
+	frame := EncodeFrame(payload)
+	if w.fault != nil {
+		if err := w.fault("append"); err != nil {
+			if errors.Is(err, ErrTornWrite) {
+				// Leave half a frame behind, like a crash mid-write: the
+				// record count is NOT bumped, so rollback rewinds over
+				// the damage — and if rollback is also failed, recovery
+				// must truncate it.
+				w.f.Write(frame[:len(frame)/2])
+			}
+			return fmt.Errorf("fleet: appending wal record: %w", err)
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("fleet: appending wal record: %w", err)
 	}
 	w.records++
@@ -234,6 +259,13 @@ func (w *wal) appendPayload(payload []byte, flush bool) error {
 
 // flush applies the sync policy after one or more appends.
 func (w *wal) flush() error {
+	if w.fault != nil {
+		// Consulted regardless of policy: a disk-full ENOSPC bites the
+		// buffered write path too, not just the fsync.
+		if err := w.fault("sync"); err != nil {
+			return fmt.Errorf("fleet: syncing wal: %w", err)
+		}
+	}
 	if !w.sync {
 		return nil
 	}
@@ -253,6 +285,11 @@ func (w *wal) tell() (int64, int) {
 // rewind truncates the log back to a tell()-saved position, undoing
 // appends that could not be completed or acknowledged.
 func (w *wal) rewind(off int64, records int) error {
+	if w.fault != nil {
+		if err := w.fault("rewind"); err != nil {
+			return fmt.Errorf("fleet: rolling back wal: %w", err)
+		}
+	}
 	if err := w.f.Truncate(off); err != nil {
 		return fmt.Errorf("fleet: rolling back wal: %w", err)
 	}

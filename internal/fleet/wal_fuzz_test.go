@@ -55,7 +55,7 @@ func FuzzWALRecovery(f *testing.F) {
 			t.Fatal(err)
 		}
 
-		w, recs, _, err := openWAL(path, SyncOS)
+		w, recs, _, err := openWAL(path, SyncOS, nil)
 		if err != nil {
 			return // I/O-level refusal is fine; crashing is not
 		}
@@ -64,7 +64,7 @@ func FuzzWALRecovery(f *testing.F) {
 		}
 		w.close()
 
-		w2, recs2, dropped2, err := openWAL(path, SyncOS)
+		w2, recs2, dropped2, err := openWAL(path, SyncOS, nil)
 		if err != nil {
 			t.Fatalf("reopen after recovery: %v", err)
 		}
@@ -79,7 +79,7 @@ func FuzzWALRecovery(f *testing.F) {
 			t.Fatalf("append to recovered log: %v", err)
 		}
 		w2.close()
-		w3, recs3, dropped3, err := openWAL(path, SyncOS)
+		w3, recs3, dropped3, err := openWAL(path, SyncOS, nil)
 		if err != nil || dropped3 != 0 {
 			t.Fatalf("reopen after append: err=%v dropped=%d", err, dropped3)
 		}

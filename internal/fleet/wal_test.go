@@ -14,7 +14,7 @@ func walJob(id int) *snapJob {
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, recs, dropped, err := openWAL(path, SyncAlways)
+	w, recs, dropped, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 	w.close()
 
-	w2, recs, dropped, err := openWAL(path, SyncAlways)
+	w2, recs, dropped, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestWALRoundTrip(t *testing.T) {
 // the intact prefix, truncate the garbage, and stay appendable.
 func TestWALTornTailTruncatedRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, _, _, err := openWAL(path, SyncAlways)
+	w, _, _, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestWALTornTailTruncatedRecord(t *testing.T) {
 	f.Write([]byte{42, 0, 0, 0, 99, 99}) // short header+payload fragment
 	f.Close()
 
-	w2, recs, dropped, err := openWAL(path, SyncAlways)
+	w2, recs, dropped, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestWALTornTailTruncatedRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	w2.close()
-	_, recs, dropped, err = openWAL(path, SyncAlways)
+	_, recs, dropped, err = openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestWALTornTailTruncatedRecord(t *testing.T) {
 // Bit rot in the final record's payload must be caught by the CRC.
 func TestWALTornTailCRCMismatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, _, _, err := openWAL(path, SyncAlways)
+	w, _, _, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestWALTornTailCRCMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, recs, dropped, err := openWAL(path, SyncAlways)
+	_, recs, dropped, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestWALTornTailCRCMismatch(t *testing.T) {
 // corruption, not attempted as an allocation.
 func TestWALTornTailBogusLength(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, _, _, err := openWAL(path, SyncAlways)
+	w, _, _, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestWALTornTailBogusLength(t *testing.T) {
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(nil, walCRCTable))
 	f.Write(hdr[:])
 	f.Close()
-	_, recs, dropped, err := openWAL(path, SyncAlways)
+	_, recs, dropped, err := openWAL(path, SyncAlways, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestWALTornTailBogusLength(t *testing.T) {
 
 func TestWALRewindAndReset(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, _, _, err := openWAL(path, SyncOS)
+	w, _, _, err := openWAL(path, SyncOS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestWALRewindAndReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.close()
-	_, recs, dropped, err := openWAL(path, SyncOS)
+	_, recs, dropped, err := openWAL(path, SyncOS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestWALRewindAndReset(t *testing.T) {
 		t.Fatalf("after rewind+append: dropped=%d recs=%+v", dropped, recs)
 	}
 
-	w2, _, _, err := openWAL(path, SyncOS)
+	w2, _, _, err := openWAL(path, SyncOS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -229,4 +230,67 @@ func TestFollowerAutoPromotesOnLeaderLoss(t *testing.T) {
 		t.Fatalf("promoted state: %d jobs, %v", len(jobs), err)
 	}
 	submitN(t, fc, 2, 50) // serving
+}
+
+// TestPromotionRacesInFlightRestore bumps the leader's generation (an
+// API restore rewinds its timeline) at the same instant the follower
+// is told to promote. Whichever the follower's replication loop sees
+// first, the outcome must be coherent: promotion succeeds, the new
+// leader serves either the pre-restore timeline it had fully mirrored
+// (12 jobs) or the restored one it re-bootstrapped onto (6 jobs) —
+// never a splice of the two — and it accepts writes.
+func TestPromotionRacesInFlightRestore(t *testing.T) {
+	_, follower, lc, fc := haPair(t, 0)
+	ctx := context.Background()
+
+	submitN(t, lc, 6, 0)
+	snap, err := lc.Snapshot(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, lc, 6, 6)
+	waitFor(t, "follower caught up to 12", func() bool {
+		st, err := fc.FleetStatus(ctx, DefaultFleet)
+		return err == nil && st.Replication.Offset == 12
+	})
+
+	var wg sync.WaitGroup
+	var rerr, perr error
+	var info energysched.PromoteInfo
+	wg.Add(2)
+	go func() { defer wg.Done(); _, rerr = lc.Restore(ctx, snap.Path) }()
+	go func() { defer wg.Done(); info, perr = fc.Promote(ctx) }()
+	wg.Wait()
+	if rerr != nil {
+		t.Fatalf("leader restore: %v", rerr)
+	}
+	if perr != nil {
+		t.Fatalf("promote during in-flight restore: %v", perr)
+	}
+	if info.Role != "leader" || follower.Role() != "leader" {
+		t.Fatalf("promote info %+v, server role %s", info, follower.Role())
+	}
+
+	// The promoted timeline is one of the two coherent histories.
+	jobs, err := fc.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 && len(jobs) != 12 {
+		t.Fatalf("promoted leader has %d jobs, want the restored 6 or the mirrored 12", len(jobs))
+	}
+	if got := info.Fleets[DefaultFleet]; got != int64(len(jobs)) {
+		t.Fatalf("promote reported %d records, Jobs lists %d", got, len(jobs))
+	}
+	st, err := fc.FleetStatus(ctx, DefaultFleet)
+	if err != nil || st.Role != "leader" {
+		t.Fatalf("status after promote: %+v, %v", st, err)
+	}
+
+	// And it serves writes on its own authority.
+	submitN(t, fc, 2, 200)
+	after, err := fc.Jobs(ctx)
+	if err != nil || len(after) != len(jobs)+2 {
+		t.Fatalf("promoted leader writes: %d jobs, %v", len(after), err)
+	}
 }

@@ -351,16 +351,22 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	retryAfter := 0
 	var fe *fleet.Error
 	if errors.As(err, &fe) {
 		status = fe.Status
+		retryAfter = fe.RetryAfter
 	} else if errors.Is(err, fleet.ErrClosed) {
 		status = http.StatusServiceUnavailable
 	}
-	if status == http.StatusTooManyRequests {
-		// The fleet-cap rejection is transient from the client's view
-		// (fleets get deleted); give retrying clients a backoff hint.
-		w.Header().Set("Retry-After", "1")
+	if retryAfter == 0 && status == http.StatusTooManyRequests {
+		// Every 429 is transient from the client's view (fleets get
+		// deleted, windows pass); default a backoff hint when the error
+		// didn't carry its own.
+		retryAfter = 1
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, status, energysched.APIError{Status: status, Message: err.Error()})
 }

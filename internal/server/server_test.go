@@ -939,3 +939,21 @@ func TestFleetCreateRejectsBadShards(t *testing.T) {
 		t.Fatalf("bad-shards create: %d %s, want 400 mentioning shards", code, body)
 	}
 }
+
+// The -max-fleets 429 must carry a Retry-After header end to end, so
+// the client's retry policy backs off instead of hammering the cap.
+func TestFleetCapReturnsRetryAfter(t *testing.T) {
+	_, hs, _ := newTestServer(t, Config{MaxFleets: 1}) // default fleet fills the cap
+	resp, err := http.Post(hs.URL+"/v1/fleets", "application/json",
+		strings.NewReader(`{"id":"overflow"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create over cap: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After = %q, want %q", ra, "1")
+	}
+}

@@ -38,42 +38,86 @@ func WriteCSV(w io.Writer, t *Trace) error {
 	return cw.Error()
 }
 
-// ReadCSV parses the native CSV trace format.
-func ReadCSV(r io.Reader) (*Trace, error) {
+// CSVSource streams the native CSV trace format row by row. The
+// header is consumed and checked at construction; Next parses,
+// validates and order-checks one row at a time, so arbitrarily long
+// trace files feed a simulation with O(1) ingestion memory. The
+// native format is written submit-ordered (WriteCSV); disorder means
+// a hand-edited or corrupted trace and is an error.
+type CSVSource struct {
+	cr    *csv.Reader
+	row   int // 1-based file row of the last record read
+	count int
+	prev  float64
+	err   error // sticky
+}
+
+// NewCSVSource reads and verifies the header, returning a source for
+// the remaining rows.
+func NewCSVSource(r io.Reader) (*CSVSource, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
-	rows, err := cr.ReadAll()
+	cr.ReuseRecord = true
+	hdr, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("workload: empty csv trace")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("workload: reading csv: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("workload: empty csv trace")
+	if hdr[0] != csvHeader[0] {
+		return nil, fmt.Errorf("workload: missing csv header (first cell %q)", hdr[0])
 	}
-	if rows[0][0] != csvHeader[0] {
-		return nil, fmt.Errorf("workload: missing csv header (first cell %q)", rows[0][0])
+	return &CSVSource{cr: cr, row: 1}, nil
+}
+
+// Next implements JobSource.
+func (s *CSVSource) Next() (Job, error) {
+	if s.err != nil {
+		return Job{}, s.err
 	}
-	tr := &Trace{}
-	for i, rec := range rows[1:] {
-		j, err := parseCSVRow(rec)
-		if err != nil {
-			return nil, fmt.Errorf("workload: row %d: %w", i+2, err)
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		if s.count == 0 {
+			s.err = fmt.Errorf("workload: csv trace has no jobs")
+			return Job{}, s.err
 		}
-		if n := len(tr.Jobs); n > 0 && j.Submit < tr.Jobs[n-1].Submit {
-			// The native format is written submit-ordered (WriteCSV);
-			// disorder means a hand-edited or corrupted trace, and
-			// silently sorting would mask the damage.
-			return nil, fmt.Errorf("workload: row %d: submit %.3f before predecessor %.3f (trace out of order)",
-				i+2, j.Submit, tr.Jobs[n-1].Submit)
-		}
-		tr.Jobs = append(tr.Jobs, j)
+		s.err = io.EOF
+		return Job{}, io.EOF
 	}
-	if len(tr.Jobs) == 0 {
-		return nil, fmt.Errorf("workload: csv trace has no jobs")
+	if err != nil {
+		s.err = fmt.Errorf("workload: reading csv: %w", err)
+		return Job{}, s.err
 	}
-	if err := tr.Validate(); err != nil {
+	s.row++
+	j, err := parseCSVRow(rec)
+	if err != nil {
+		s.err = fmt.Errorf("workload: row %d: %w", s.row, err)
+		return Job{}, s.err
+	}
+	if s.count > 0 && j.Submit < s.prev {
+		s.err = fmt.Errorf("workload: row %d: submit %.3f before predecessor %.3f (trace out of order)",
+			s.row, j.Submit, s.prev)
+		return Job{}, s.err
+	}
+	if err := j.Validate(); err != nil {
+		s.err = err
+		return Job{}, s.err
+	}
+	s.prev = j.Submit
+	s.count++
+	return j, nil
+}
+
+// ReadCSV parses the native CSV trace format. It is a materialization
+// of CSVSource, so streaming and whole-trace ingestion accept exactly
+// the same files.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	src, err := NewCSVSource(r)
+	if err != nil {
 		return nil, err
 	}
-	return tr, nil
+	return ReadAll(src)
 }
 
 func parseCSVRow(rec []string) (Job, error) {

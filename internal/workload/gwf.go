@@ -4,9 +4,146 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// gwfRow is one parsed and validated GWF/SWF data line.
+type gwfRow struct {
+	id                 int
+	submit, run, procs float64
+}
+
+// parseGWFLine decodes one non-comment line. cancelled reports a
+// zero-runtime or zero-width submission — the archives' convention for
+// cancelled jobs, which replay skips. Anything else malformed is an
+// error: negative or non-finite runtimes, processor counts and submit
+// times mean a corrupted file, and silently skipping them (as earlier
+// revisions did for negative runtimes) fabricates a workload the
+// archive never recorded.
+func parseGWFLine(line int, text string) (row gwfRow, cancelled bool, err error) {
+	f := strings.Fields(text)
+	if len(f) < 5 {
+		return row, false, fmt.Errorf("workload: gwf line %d: %d fields, need >= 5", line, len(f))
+	}
+	id, err := strconv.Atoi(f[0])
+	if err != nil {
+		return row, false, fmt.Errorf("workload: gwf line %d: bad job id %q", line, f[0])
+	}
+	submit, err1 := strconv.ParseFloat(f[1], 64)
+	run, err2 := strconv.ParseFloat(f[3], 64)
+	procs, err3 := strconv.ParseFloat(f[4], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return row, false, fmt.Errorf("workload: gwf line %d: bad numeric field", line)
+	}
+	for _, v := range [...]float64{submit, run, procs} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return row, false, fmt.Errorf("workload: gwf line %d: non-finite numeric field", line)
+		}
+	}
+	if submit < 0 {
+		return row, false, fmt.Errorf("workload: gwf line %d: negative submit time %.0f", line, submit)
+	}
+	if run < 0 {
+		return row, false, fmt.Errorf("workload: gwf line %d: negative runtime %.0f", line, run)
+	}
+	if procs < 0 {
+		return row, false, fmt.Errorf("workload: gwf line %d: negative processor count %.0f", line, procs)
+	}
+	if run == 0 || procs == 0 {
+		return row, true, nil // cancelled / failed submission
+	}
+	return gwfRow{id: id, submit: submit, run: run, procs: procs}, false, nil
+}
+
+// gwfSkippable reports whether a raw line carries no data (blank, or a
+// '#'/';' comment — GWF and SWF headers respectively).
+func gwfSkippable(text string) bool {
+	return text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, ";")
+}
+
+// GWFSource streams a Grid Workloads Format (or SWF — same column
+// prefix) trace job by job: each accepted line is converted and
+// yielded immediately, so week-long archive files feed a simulation
+// with O(1) ingestion memory. The file must be submit-ordered (the
+// single-cluster archive convention); a regression is an error, since
+// a streaming reader cannot sort. For deliberately interleaved
+// multi-cluster files use ReadGWF with ConvertOptions.AllowUnsorted,
+// which materializes.
+//
+// Submit times are rebased to the first accepted job's, which for a
+// sorted file equals the whole-trace minimum — so draining a
+// GWFSource yields exactly ReadGWF's jobs.
+type GWFSource struct {
+	sc    *bufio.Scanner
+	opts  ConvertOptions
+	line  int
+	count int
+	t0    float64
+	prev  float64
+	first bool
+	err   error // sticky
+}
+
+// NewGWFSource builds a streaming GWF/SWF reader. opts.AllowUnsorted
+// is rejected: sorting requires materializing the trace.
+func NewGWFSource(r io.Reader, opts ConvertOptions) (*GWFSource, error) {
+	if opts.AllowUnsorted {
+		return nil, fmt.Errorf("workload: streaming gwf source cannot sort; use ReadGWF for AllowUnsorted traces")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return &GWFSource{sc: sc, opts: opts.withDefaults(), first: true}, nil
+}
+
+// Next implements JobSource.
+func (s *GWFSource) Next() (Job, error) {
+	if s.err != nil {
+		return Job{}, s.err
+	}
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if gwfSkippable(text) {
+			continue
+		}
+		row, cancelled, err := parseGWFLine(s.line, text)
+		if err != nil {
+			s.err = err
+			return Job{}, err
+		}
+		if cancelled {
+			continue
+		}
+		if s.first {
+			s.t0 = row.submit
+			s.first = false
+		} else if row.submit < s.prev {
+			s.err = fmt.Errorf("workload: gwf line %d: submit time %.0f before predecessor %.0f (trace out of order; set ConvertOptions.AllowUnsorted to sort)",
+				s.line, row.submit, s.prev)
+			return Job{}, s.err
+		}
+		s.prev = row.submit
+		j := s.opts.convert(row.id, row.submit-s.t0, row.run, row.procs)
+		if err := j.Validate(); err != nil {
+			s.err = fmt.Errorf("workload: gwf line %d: %w", s.line, err)
+			return Job{}, s.err
+		}
+		s.count++
+		return j, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("workload: reading gwf: %w", err)
+		return Job{}, s.err
+	}
+	if s.count == 0 {
+		s.err = fmt.Errorf("workload: gwf trace has no usable jobs")
+		return Job{}, s.err
+	}
+	s.err = io.EOF
+	return Job{}, io.EOF
+}
 
 // ReadGWF parses a trace in the Grid Workloads Format used by the
 // Grid Workloads Archive (gwa.ewi.tudelft.nl), the source of the
@@ -17,56 +154,48 @@ import (
 //	5 AverageCPUTimeUsed  6 UsedMemory  7 ReqNProcs  8 ReqTime
 //	9 ReqMemory  10 Status
 //
-// Jobs with non-positive runtime or processor counts are skipped, as
-// is conventional when replaying archive traces (cancelled and failed
-// submissions). opts tunes the conversion into the simulator's model.
+// Jobs with zero runtime or processor counts are skipped, as is
+// conventional when replaying archive traces (cancelled and failed
+// submissions); negative or non-finite values in the consumed fields
+// are rejected as corruption. opts tunes the conversion into the
+// simulator's model.
+//
+// The sorted path is a materialization of GWFSource, so streaming and
+// whole-trace ingestion accept exactly the same files.
 func ReadGWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
 	opts = opts.withDefaults()
+	if opts.AllowUnsorted {
+		return readGWFUnsorted(r, opts)
+	}
+	src, err := NewGWFSource(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ReadAll(src)
+}
+
+// readGWFUnsorted is the materializing reader for deliberately
+// interleaved multi-cluster traces: rows are collected, rebased to the
+// earliest submission and sorted.
+func readGWFUnsorted(r io.Reader, opts ConvertOptions) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	type rawJob struct {
-		id                 int
-		submit, run, procs float64
-	}
-	var raw []rawJob
+	var raw []gwfRow
 	line := 0
-	var prevSubmit float64
-	first := true
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, ";") {
+		if gwfSkippable(text) {
 			continue
 		}
-		f := strings.Fields(text)
-		if len(f) < 5 {
-			return nil, fmt.Errorf("workload: gwf line %d: %d fields, need >= 5", line, len(f))
-		}
-		id, err := strconv.Atoi(f[0])
+		row, cancelled, err := parseGWFLine(line, text)
 		if err != nil {
-			return nil, fmt.Errorf("workload: gwf line %d: bad job id %q", line, f[0])
+			return nil, err
 		}
-		submit, err1 := strconv.ParseFloat(f[1], 64)
-		run, err2 := strconv.ParseFloat(f[3], 64)
-		procs, err3 := strconv.ParseFloat(f[4], 64)
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("workload: gwf line %d: bad numeric field", line)
+		if cancelled {
+			continue
 		}
-		if run <= 0 || procs <= 0 {
-			continue // cancelled / failed submissions
-		}
-		if !first && submit < prevSubmit && !opts.AllowUnsorted {
-			// Submit-time regressions in a single-cluster archive mean
-			// a corrupted or concatenated file; silently reordering
-			// would fabricate a workload that never happened. Opt in
-			// via AllowUnsorted for genuinely interleaved multi-cluster
-			// traces.
-			return nil, fmt.Errorf("workload: gwf line %d: submit time %.0f before predecessor %.0f (trace out of order; set ConvertOptions.AllowUnsorted to sort)",
-				line, submit, prevSubmit)
-		}
-		prevSubmit = submit
-		first = false
-		raw = append(raw, rawJob{id: id, submit: submit, run: run, procs: procs})
+		raw = append(raw, row)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("workload: reading gwf: %w", err)
@@ -74,7 +203,7 @@ func ReadGWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("workload: gwf trace has no usable jobs")
 	}
-	// Rebase to the earliest submission (the first line when sorted).
+	// Rebase to the earliest submission.
 	t0 := raw[0].submit
 	for _, r := range raw {
 		if r.submit < t0 {
@@ -101,6 +230,11 @@ func ReadGWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
 // so the same conversion applies.
 func ReadSWF(r io.Reader, opts ConvertOptions) (*Trace, error) {
 	return ReadGWF(r, opts)
+}
+
+// NewSWFSource is NewGWFSource for SWF files (shared column prefix).
+func NewSWFSource(r io.Reader, opts ConvertOptions) (*GWFSource, error) {
+	return NewGWFSource(r, opts)
 }
 
 // ConvertOptions controls how archive jobs map into the simulator's

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -42,6 +43,21 @@ func (j Job) Deadline() float64 { return j.Submit + j.DeadlineFactor*j.Duration 
 
 // Validate reports whether the job is well-formed.
 func (j Job) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"submit", j.Submit}, {"duration", j.Duration}, {"CPU", j.CPU},
+		{"memory", j.Mem}, {"deadline factor", j.DeadlineFactor},
+		{"fault tolerance", j.FaultTolerance},
+	} {
+		// NaN fails every < comparison below open (NaN < 0 is false),
+		// so non-finite fields must be rejected explicitly or they
+		// poison the simulation's accounting.
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("workload: job %d has non-finite %s", j.ID, f.name)
+		}
+	}
 	if j.Submit < 0 {
 		return fmt.Errorf("workload: job %d has negative submit %.1f", j.ID, j.Submit)
 	}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"container/heap"
+	"io"
+
+	"energysched/internal/simkit"
+)
+
+// JobSource is an incremental workload iterator: Next yields jobs in
+// non-decreasing submit order and returns io.EOF after the last one.
+// It is the streaming counterpart of Trace — a week-long archive file
+// or a multi-day synthetic run can feed a simulation job by job
+// without ever materializing the whole trace in memory, which is what
+// keeps the scale harness's ingestion O(1) in trace length.
+//
+// Every job a source yields is individually Validate-d and ordered;
+// a source that cannot uphold the ordering (a corrupt file) reports
+// an error from Next instead of reordering silently.
+type JobSource interface {
+	Next() (Job, error)
+}
+
+// ReadAll drains a source into a materialized Trace. It is how the
+// whole-trace readers (ReadGWF, ReadCSV) are built on top of their
+// streaming sources, guaranteeing the two ingestion paths accept
+// exactly the same inputs.
+func ReadAll(src JobSource) (*Trace, error) {
+	tr := &Trace{}
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// TraceSource adapts a materialized Trace to the JobSource interface,
+// so harnesses written against streaming ingestion also accept
+// pre-built traces.
+type TraceSource struct {
+	jobs []Job
+	i    int
+}
+
+// NewTraceSource returns a source yielding tr's jobs in order.
+func NewTraceSource(tr *Trace) *TraceSource {
+	return &TraceSource{jobs: tr.Jobs}
+}
+
+// Next implements JobSource.
+func (s *TraceSource) Next() (Job, error) {
+	if s.i >= len(s.jobs) {
+		return Job{}, io.EOF
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, nil
+}
+
+// --- streaming synthetic generator ---
+
+// GeneratorSource streams the synthetic Grid5000-like generator
+// (see Generate) without materializing the trace. The arrival process
+// emits jobs in generation order, but burst members are spread a few
+// seconds forward of the burst head, so a bounded reorder buffer (a
+// min-heap keyed by submit time) holds the short backlog: a pending
+// job can be emitted as soon as the arrival clock passes its submit
+// time, because every job generated later is stamped at or after the
+// clock. The buffer's high-water mark is therefore bounded by the
+// burst backlog — independent of the horizon — which the memory test
+// asserts via MaxPending.
+//
+// Draining a GeneratorSource yields exactly the jobs of
+// Generate(cfg), in the same order with the same IDs.
+type GeneratorSource struct {
+	cfg     GeneratorConfig
+	maxRate float64
+
+	arrivals, runtimes, shapes, deadlines *simkit.Stream
+
+	t       float64
+	id      int
+	done    bool
+	pending jobHeap
+	maxPend int
+}
+
+// NewGeneratorSource builds a streaming generator for cfg.
+func NewGeneratorSource(cfg GeneratorConfig) (*GeneratorSource, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GeneratorSource{
+		cfg:       cfg,
+		maxRate:   cfg.JobsPerDay / (24 * 3600) * (1 + cfg.DiurnalAmplitude),
+		arrivals:  simkit.NewStream(cfg.Seed, "arrivals"),
+		runtimes:  simkit.NewStream(cfg.Seed, "runtimes"),
+		shapes:    simkit.NewStream(cfg.Seed, "shapes"),
+		deadlines: simkit.NewStream(cfg.Seed, "deadlines"),
+	}, nil
+}
+
+// MaxPending returns the reorder buffer's high-water mark so far. It
+// is bounded by the burst backlog, not the trace length — the scale
+// harness's O(1)-memory assertion reads it.
+func (s *GeneratorSource) MaxPending() int { return s.maxPend }
+
+// Next implements JobSource.
+func (s *GeneratorSource) Next() (Job, error) {
+	for {
+		// A pending job at or before the arrival clock is final: every
+		// job generated from here on is stamped at or after the clock,
+		// and ties break by ID (matching Generate's stable sort).
+		if len(s.pending) > 0 && (s.done || s.pending[0].Submit <= s.t) {
+			return heap.Pop(&s.pending).(Job), nil
+		}
+		if s.done {
+			return Job{}, io.EOF
+		}
+		// One step of Generate's thinned Poisson arrival process — the
+		// stream draws happen in exactly the same order, so the two
+		// paths produce identical jobs.
+		s.t += s.arrivals.Exp(s.maxRate)
+		if s.t >= s.cfg.Horizon {
+			s.done = true
+			continue
+		}
+		if s.arrivals.Float64() > s.cfg.rateAt(s.t)/s.maxRate {
+			continue
+		}
+		n := 1
+		if s.arrivals.Float64() < s.cfg.BurstProb {
+			n += 1 + int(s.arrivals.Exp(1.0/s.cfg.BurstSize))
+		}
+		for k := 0; k < n; k++ {
+			at := s.t + float64(k)*s.shapes.Uniform(0.5, 3.0)
+			if at >= s.cfg.Horizon {
+				break
+			}
+			heap.Push(&s.pending, s.cfg.newJob(s.id, at, s.runtimes, s.shapes, s.deadlines))
+			s.id++
+		}
+		if len(s.pending) > s.maxPend {
+			s.maxPend = len(s.pending)
+		}
+	}
+}
+
+// jobHeap orders jobs by (Submit, ID) — identical to the stable
+// submit-time sort Generate applies, since IDs are assigned in
+// generation order.
+type jobHeap []Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Submit != h[j].Submit {
+		return h[i].Submit < h[j].Submit
+	}
+	return h[i].ID < h[j].ID
+}
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(Job)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The streaming generator must be a perfect pipe of Generate: same
+// config, same jobs, same order, same IDs. This is the equivalence
+// that lets the scale harness run week-long synthetic traces without
+// materializing them while keeping every downstream byte-identity
+// oracle meaningful.
+func TestGeneratorSourceMatchesGenerate(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := DefaultGeneratorConfig()
+		cfg.Seed = seed
+		cfg.Horizon = 2 * 24 * 3600
+		want := MustGenerate(cfg)
+
+		src, err := NewGeneratorSource(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+			t.Fatalf("seed %d: streamed trace differs from Generate (%d vs %d jobs)",
+				seed, got.Len(), want.Len())
+		}
+	}
+}
+
+// The reorder buffer's high-water mark is bounded by the burst
+// backlog, not the horizon: a 28× longer trace must not grow it. This
+// is the O(1)-memory property of streaming ingestion.
+func TestGeneratorSourceMemoryBounded(t *testing.T) {
+	peak := func(days float64) (maxPend, jobs int) {
+		cfg := DefaultGeneratorConfig()
+		cfg.Horizon = days * 24 * 3600
+		src, err := NewGeneratorSource(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := src.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			jobs++
+		}
+		return src.MaxPending(), jobs
+	}
+	short, shortJobs := peak(1)
+	long, longJobs := peak(28)
+	if longJobs < 10*shortJobs {
+		t.Fatalf("28-day trace only %d jobs vs %d for one day; generator broken", longJobs, shortJobs)
+	}
+	// The backlog holds at most a few overlapping bursts (mean burst
+	// ≈ 35 jobs spread over seconds), regardless of trace length.
+	if long > 512 {
+		t.Fatalf("28-day reorder backlog %d; want O(burst), not O(trace)", long)
+	}
+	if long > 4*short+64 {
+		t.Fatalf("backlog grew with the horizon: 1-day peak %d, 28-day peak %d", short, long)
+	}
+	t.Logf("reorder backlog: 1 day peak %d (%d jobs), 28 days peak %d (%d jobs)",
+		short, shortJobs, long, longJobs)
+}
+
+// gwfGen lazily synthesizes an arbitrarily long, submit-ordered GWF
+// file so the reader-side memory test never holds the input either.
+type gwfGen struct {
+	rows, next int
+	buf        []byte
+}
+
+func (g *gwfGen) Read(p []byte) (int, error) {
+	for len(g.buf) < len(p) && g.next < g.rows {
+		g.buf = append(g.buf, fmt.Sprintf("%d %d 0 %d %d 0 0 1 0 0 1\n",
+			g.next, g.next*3, 600+g.next%1800, 1+g.next%4)...)
+		g.next++
+	}
+	if len(g.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, g.buf)
+	g.buf = g.buf[n:]
+	return n, nil
+}
+
+// Streaming a 400k-row GWF trace must keep the live heap flat: the
+// materialized trace alone would be tens of megabytes, so a small
+// peak-delta bound distinguishes O(1) ingestion from buffering.
+func TestGWFSourceConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams 400k rows")
+	}
+	const rows = 400_000
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	src, err := NewGWFSource(&gwfGen{rows: rows}, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak uint64
+	count := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+		if count%100_000 == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if d := ms.HeapAlloc - base; ms.HeapAlloc > base && d > peak {
+				peak = d
+			}
+		}
+	}
+	if count != rows {
+		t.Fatalf("streamed %d jobs, want %d", count, rows)
+	}
+	if peak > 32<<20 {
+		t.Fatalf("peak live-heap delta %d MiB while streaming; ingestion is not O(1)", peak>>20)
+	}
+	t.Logf("streamed %d rows, peak live-heap delta %d KiB", count, peak>>10)
+}
+
+// The materializing AllowUnsorted path and the streaming path are
+// separate code; on an already-sorted file they must agree exactly.
+func TestGWFStreamingMatchesMaterializing(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# synthetic\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "%d %d 0 %d %d 0 0 1 0 0 1\n", i, 50+i*7, 300+i%900, 1+i%6)
+	}
+	streamed, err := ReadGWF(strings.NewReader(sb.String()), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized, err := ReadGWF(strings.NewReader(sb.String()), ConvertOptions{AllowUnsorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed.Jobs, materialized.Jobs) {
+		t.Fatal("streaming and materializing GWF paths disagree on a sorted file")
+	}
+}
+
+// Satellite: the GWF/SWF readers used to skip rows with negative
+// runtimes (and accepted NaN/Inf through ParseFloat), silently
+// fabricating a different workload. Corruption is now an error on
+// both ingestion paths; only the archives' zero-runtime/zero-width
+// "cancelled" convention is skipped.
+func TestGWFRejectsCorruptRows(t *testing.T) {
+	good := "1 100 0 600 1 0 0 1 0 0 1\n"
+	cases := []struct {
+		name, row string
+	}{
+		{"negative runtime", "2 200 0 -1 1 0 0 1 0 0 1\n"},
+		{"negative procs", "2 200 0 600 -2 0 0 1 0 0 1\n"},
+		{"negative submit", "2 -50 0 600 1 0 0 1 0 0 1\n"},
+		{"NaN runtime", "2 200 0 NaN 1 0 0 1 0 0 1\n"},
+		{"Inf submit", "2 +Inf 0 600 1 0 0 1 0 0 1\n"},
+		{"NaN procs", "2 200 0 600 nan 0 0 1 0 0 1\n"},
+		{"short row", "2 200 0 600\n"},
+		{"bad id", "x 200 0 600 1 0 0 1 0 0 1\n"},
+	}
+	for _, tc := range cases {
+		for _, unsorted := range []bool{false, true} {
+			_, err := ReadGWF(strings.NewReader(good+tc.row), ConvertOptions{AllowUnsorted: unsorted})
+			if err == nil {
+				t.Errorf("%s (unsorted=%v): corrupt row accepted", tc.name, unsorted)
+			}
+		}
+		// SWF shares the parser and therefore the guards.
+		if _, err := ReadSWF(strings.NewReader(good+tc.row), ConvertOptions{}); err == nil {
+			t.Errorf("%s: corrupt swf row accepted", tc.name)
+		}
+	}
+	// Zero runtime / zero procs remain the cancelled-job skip.
+	tr, err := ReadGWF(strings.NewReader(good+"2 200 0 0 1 0 0 1 0 0 0\n3 300 0 600 0 0 0 1 0 0 0\n4 400 0 600 1 0 0 1 0 0 1\n"), ConvertOptions{})
+	if err != nil {
+		t.Fatalf("cancelled rows rejected: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("jobs = %d, want 2 (cancelled rows skipped)", tr.Len())
+	}
+}
+
+// CSV rows with non-finite numerics parse via ParseFloat but used to
+// sail through Validate (every NaN comparison fails open); they must
+// be rejected now.
+func TestCSVRejectsNonFinite(t *testing.T) {
+	hdr := "id,name,submit_s,duration_s,cpu_pct,mem_units,deadline_factor,fault_tolerance,arch,hypervisor\n"
+	for _, tc := range []struct{ name, row string }{
+		{"NaN duration", "1,a,100.000,NaN,100.0,5.00,1.5000,0.0000,,\n"},
+		{"Inf cpu", "1,a,100.000,10.000,+Inf,5.00,1.5000,0.0000,,\n"},
+		{"NaN submit", "1,a,NaN,10.000,100.0,5.00,1.5000,0.0000,,\n"},
+	} {
+		if _, err := ReadCSV(strings.NewReader(hdr + tc.row)); err == nil {
+			t.Errorf("%s: non-finite csv row accepted", tc.name)
+		}
+	}
+}
+
+// A source constructor must refuse the option it cannot honor.
+func TestGWFSourceRejectsAllowUnsorted(t *testing.T) {
+	if _, err := NewGWFSource(strings.NewReader(""), ConvertOptions{AllowUnsorted: true}); err == nil {
+		t.Fatal("streaming source accepted AllowUnsorted")
+	}
+}
+
+// TraceSource → ReadAll is the identity on a valid trace.
+func TestTraceSourceRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Horizon = 6 * 3600
+	orig := MustGenerate(cfg)
+	back, err := ReadAll(NewTraceSource(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Jobs, orig.Jobs) {
+		t.Fatal("TraceSource round trip altered the trace")
+	}
+}

@@ -192,14 +192,14 @@ func TestReadGWF(t *testing.T) {
 	input := `# GWF comment
 ; alt comment
 1 100 5 3600 2 0 0 2 3600 0 1
-2 200 0 -1 1 0 0 1 100 0 0
+2 200 0 0 1 0 0 1 100 0 0
 3 250 0 1800 8 0 0 8 1800 0 1
 `
 	tr, err := ReadGWF(strings.NewReader(input), ConvertOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Job 2 has run time −1 → skipped.
+	// Job 2 has run time 0 (cancelled) → skipped.
 	if tr.Len() != 2 {
 		t.Fatalf("jobs = %d, want 2", tr.Len())
 	}
@@ -331,8 +331,8 @@ func TestReadGWFRejectsEmptyAndDisorder(t *testing.T) {
 	if _, err := ReadGWF(strings.NewReader("# just a header\n; nothing\n"), ConvertOptions{}); err == nil {
 		t.Error("empty gwf trace accepted")
 	}
-	// All jobs cancelled (run <= 0): still no usable jobs.
-	if _, err := ReadGWF(strings.NewReader("1 100 0 -1 2 0 0 2 0 0 0\n"), ConvertOptions{}); err == nil {
+	// All jobs cancelled (run == 0): still no usable jobs.
+	if _, err := ReadGWF(strings.NewReader("1 100 0 0 2 0 0 2 0 0 0\n"), ConvertOptions{}); err == nil {
 		t.Error("all-cancelled gwf trace accepted")
 	}
 	// Submission times regress between accepted lines.
@@ -341,7 +341,7 @@ func TestReadGWFRejectsEmptyAndDisorder(t *testing.T) {
 		t.Error("out-of-order gwf trace accepted")
 	}
 	// A cancelled job between ordered lines does not break the check.
-	ok := "1 100 0 100 1 0 0 1 100 0 1\n2 150 0 -1 1 0 0 1 0 0 0\n3 200 0 100 1 0 0 1 100 0 1\n"
+	ok := "1 100 0 100 1 0 0 1 100 0 1\n2 150 0 0 1 0 0 1 0 0 0\n3 200 0 100 1 0 0 1 100 0 1\n"
 	if _, err := ReadGWF(strings.NewReader(ok), ConvertOptions{}); err != nil {
 		t.Errorf("ordered gwf trace rejected: %v", err)
 	}
