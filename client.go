@@ -156,6 +156,14 @@ type FleetSpec struct {
 	// SnapshotInterval > 0 overrides how many WAL records accumulate
 	// before the fleet compacts them into a snapshot.
 	SnapshotInterval int `json:"snapshot_interval,omitempty"`
+	// TraceVerbosity overrides the fleet's decision-trace recording
+	// level ("" inherits the daemon's -trace flag): "off", "rounds",
+	// "actions" or "scores". Pure observability — any level leaves
+	// scheduling byte-identical.
+	TraceVerbosity string `json:"trace_verbosity,omitempty"`
+	// TraceDepth > 0 overrides how many round traces the fleet retains
+	// for GET /trace (default 256).
+	TraceDepth int `json:"trace_depth,omitempty"`
 }
 
 // WALStats describes a fleet's durable admission log (part of
@@ -256,6 +264,13 @@ type HealthStatus struct {
 	MaxLag int64 `json:"max_lag,omitempty"`
 	// Replication lists per-fleet positions (follower only).
 	Replication map[string]ReplicationStatus `json:"replication,omitempty"`
+	// Version is the daemon's module version from its embedded build
+	// info ("(devel)" for plain builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS revision the daemon was built from (12 hex
+	// digits, "+dirty" when the checkout had local modifications);
+	// empty when the build embedded no VCS info.
+	Revision string `json:"revision,omitempty"`
 }
 
 // PromoteInfo is the response of POST /v1/promote: the follower has
@@ -264,6 +279,86 @@ type PromoteInfo struct {
 	Role string `json:"role"` // always "leader" on success
 	// Fleets maps fleet ID to its log offset at promotion.
 	Fleets map[string]int64 `json:"fleets"`
+}
+
+// TraceScoreTerms is the per-action score decomposition recorded at
+// "scores" verbosity: the components of the paper's placement score
+// for the chosen target.
+type TraceScoreTerms struct {
+	// Base is the time-independent half (resource fits, concurrency,
+	// power, fault terms) of the chosen cell.
+	Base float64 `json:"base"`
+	// Time is the time-dependent half (virtualization overhead + SLA).
+	Time float64 `json:"time"`
+	// Power is the green-energy/consolidation term in isolation.
+	Power float64 `json:"power"`
+	// SLA is the deadline-satisfaction term in isolation.
+	SLA float64 `json:"sla"`
+}
+
+// TraceAction is one applied solver action and why it won (present at
+// "actions" verbosity and up).
+type TraceAction struct {
+	// Kind is "place" (from queue) or "migrate".
+	Kind string `json:"kind"`
+	// VM is the VM's ID.
+	VM int `json:"vm"`
+	// From is the source node ID, -1 for a placement from the queue.
+	From int `json:"from"`
+	// To is the chosen target node ID.
+	To int `json:"to"`
+	// Current is the score of leaving the VM where it is; Chosen is the
+	// winning target's score; Gain is the margin Chosen − Current (more
+	// negative is better — the solver minimizes).
+	Current float64 `json:"current"`
+	Chosen  float64 `json:"chosen"`
+	Gain    float64 `json:"gain"`
+	// Terms is the score breakdown ("scores" verbosity only).
+	Terms *TraceScoreTerms `json:"terms,omitempty"`
+}
+
+// TraceRound is one solver round's structured decision trace.
+type TraceRound struct {
+	// Seq is the ring sequence number, monotonically increasing per
+	// fleet.
+	Seq uint64 `json:"seq"`
+	// Round is the scheduler's round counter after this round.
+	Round int `json:"round"`
+	// Now is the simulation's virtual time at the round, in seconds.
+	Now float64 `json:"now"`
+	// Solver names the engine: "naive", "incremental" or "sharded";
+	// Shards is the shard count for a sharded round (0 otherwise).
+	Solver string `json:"solver"`
+	Shards int    `json:"shards,omitempty"`
+	// WallNanos is the wall-clock duration of the whole round.
+	WallNanos int64 `json:"wall_ns"`
+	// Hosts and Candidates size the round's score matrix.
+	Hosts      int `json:"hosts"`
+	Candidates int `json:"candidates"`
+	// Moves is the number of actions the hill climber applied;
+	// ScoreEvals counts full score evaluations this round.
+	Moves      int `json:"moves"`
+	ScoreEvals int `json:"score_evals"`
+	// Carry/dirty statistics: matrix cells reused from the previous
+	// round, and rows/columns whose carry keys went stale.
+	ReusedCells int `json:"reused_cells"`
+	StaleRows   int `json:"stale_rows"`
+	StaleCols   int `json:"stale_cols"`
+	// LimitHit reports that the round stopped on the iteration cap
+	// rather than convergence.
+	LimitHit bool `json:"limit_hit,omitempty"`
+	// Actions holds the per-action why records ("actions" verbosity
+	// and up).
+	Actions []TraceAction `json:"actions,omitempty"`
+}
+
+// TraceSnapshot is the response of GET /v1/fleets/{id}/trace: the
+// ring's head sequence, the recording level, and the retained round
+// traces oldest first.
+type TraceSnapshot struct {
+	Seq       uint64       `json:"seq"`
+	Verbosity string       `json:"verbosity"`
+	Traces    []TraceRound `json:"traces"`
 }
 
 // APIError is the error body every endpoint returns on failure.
@@ -597,6 +692,73 @@ func (c *Client) Promote(ctx context.Context) (PromoteInfo, error) {
 	var info PromoteInfo
 	err := c.call(ctx, http.MethodPost, "/v1/promote", nil, &info)
 	return info, err
+}
+
+// Trace fetches the fleet's retained solver round traces with
+// sequence number > since (GET /v1/trace?since=N). The daemon keeps a
+// bounded ring (256 rounds by default), so a poller passing the last
+// Seq it saw reads each round exactly once.
+func (c *Client) Trace(ctx context.Context, since uint64) (TraceSnapshot, error) {
+	path := c.apiPath("/trace")
+	if since > 0 {
+		path += "?since=" + strconv.FormatUint(since, 10)
+	}
+	var snap TraceSnapshot
+	err := c.call(ctx, http.MethodGet, path, nil, &snap)
+	return snap, err
+}
+
+// SetTraceVerbosity retunes the fleet's decision-trace recording
+// level at runtime (POST /v1/trace/verbosity): "off", "rounds",
+// "actions" or "scores". Pure observability — scheduling stays
+// byte-identical at any level.
+func (c *Client) SetTraceVerbosity(ctx context.Context, level string) error {
+	return c.call(ctx, http.MethodPost, c.apiPath("/trace/verbosity"),
+		map[string]string{"verbosity": level}, nil)
+}
+
+// TraceTail subscribes to the fleet's decision-trace stream
+// (GET /v1/trace?follow=1, server-sent events) and calls fn for every
+// solver round until ctx is cancelled, the stream ends, or fn returns
+// a non-nil error (which is returned). since > 0 replays the retained
+// backlog from that sequence number first.
+func (c *Client) TraceTail(ctx context.Context, since uint64, fn func(rt TraceRound) error) error {
+	path := c.apiPath("/trace") + "?follow=1"
+	if since > 0 {
+		path += "&since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return &APIError{Status: resp.StatusCode, Message: "trace stream rejected"}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var rt TraceRound
+		if err := json.Unmarshal([]byte(strings.TrimSpace(line[5:])), &rt); err != nil {
+			return fmt.Errorf("energysched: decoding trace: %w", err)
+		}
+		if err := fn(rt); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
 // Events subscribes to the daemon's event stream (GET /v1/events,

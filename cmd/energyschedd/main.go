@@ -36,10 +36,12 @@ package main
 import (
 	"context"
 	"errors"
+	_ "expvar" // GET /debug/vars on -debug-addr
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // GET /debug/pprof/* on -debug-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +52,7 @@ import (
 	"energysched"
 	"energysched/internal/cli"
 	"energysched/internal/fleet"
+	"energysched/internal/obs"
 	"energysched/internal/server"
 )
 
@@ -80,6 +83,9 @@ func main() {
 		follow     = flag.String("follow", "", "warm-standby mode: continuously mirror the leader daemon at this base URL (e.g. http://leader:7781); writes are rejected until promotion")
 		graceFlag  = flag.Duration("promote-grace", 0, "in -follow mode, auto-promote after this long without leader contact (0 = manual POST /v1/promote only)")
 		followPoll = flag.Duration("follow-poll", 0, "in -follow mode, leader fleet-discovery period (0 = default 1s)")
+		traceVerb  = flag.String("trace", "off", "decision-trace recording level per fleet: off, rounds, actions, scores (pure observability; scheduling is byte-identical at any level)")
+		traceDepth = flag.Int("trace-depth", 0, "round traces each fleet retains for GET /trace (0 = default 256)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060); empty = disabled")
 	)
 	cli.Parse("energyschedd")
 
@@ -96,6 +102,9 @@ func main() {
 	}
 	if *shards < -1 {
 		cli.Usagef("energyschedd", "-shards must be >= -1, got %d", *shards)
+	}
+	if _, err := obs.ParseVerbosity(*traceVerb); err != nil {
+		cli.Usagef("energyschedd", "-trace: %v", err)
 	}
 	if *follow != "" {
 		if *restore != "" {
@@ -141,7 +150,9 @@ func main() {
 		Follow:            *follow,
 		PromoteGrace:      *graceFlag,
 		FollowPoll:        *followPoll,
-		Logf:              log.Printf,
+		TraceVerbosity:    *traceVerb,
+		TraceDepth:        *traceDepth,
+		Logf:              obs.LogfAdapter(cli.Logger().With("component", "server")),
 	})
 	if err != nil {
 		cli.Fatalf("energyschedd", "%v", err)
@@ -155,6 +166,19 @@ func main() {
 		}
 	}
 
+	if *debugAddr != "" {
+		// http.DefaultServeMux carries the pprof and expvar
+		// registrations from the blank imports; a separate listener
+		// keeps the profiling surface off the public API port.
+		dbg := cli.Logger().With("component", "debug")
+		go func() {
+			dbg.Info("profiling endpoint up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				dbg.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -162,7 +186,8 @@ func main() {
 	if *follow != "" {
 		role = "follower of " + *follow
 	}
-	log.Printf("serving on %s (policy %s, pace %s, role %s, version %s)", *listen, *policyName, *pace, role, cli.Version())
+	cli.Logger().Info("serving", "listen", *listen, "policy", *policyName,
+		"pace", *pace, "role", role, "trace", *traceVerb, "version", cli.Version())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"energysched"
+	"energysched/internal/metrics"
+	"energysched/internal/server"
+)
+
+// The generator loop against a real in-process daemon: submissions
+// land, pollers read reports, no request errors, and the rendered
+// summary carries quantiles from both paths.
+func TestRunAgainstInProcessDaemon(t *testing.T) {
+	srv, err := server.New(server.Config{Policy: "SB", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() { hs.Close(); srv.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 700*time.Millisecond)
+	defer cancel()
+	st := run(ctx, energysched.NewClient(hs.URL), config{submitters: 3, pollers: 2})
+
+	if st.accepted.Load() == 0 {
+		t.Fatal("no jobs accepted")
+	}
+	if st.submitErrs.Load() != 0 || st.pollErrs.Load() != 0 {
+		t.Fatalf("request errors: submit %d, poll %d", st.submitErrs.Load(), st.pollErrs.Load())
+	}
+	if st.polls.Load() == 0 {
+		t.Fatal("pollers made no requests")
+	}
+	if st.submit.Count() == 0 || st.poll.Count() == 0 {
+		t.Fatal("histograms recorded nothing")
+	}
+
+	var sb strings.Builder
+	st.render(&sb)
+	out := sb.String()
+	for _, want := range []string{"accepted", "p50", "p99", "max", "report:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// latencyLine quantiles come from the shared histogram math; pin the
+// empty case and the unit scaling.
+func TestLatencyLine(t *testing.T) {
+	var h metrics.Histogram
+	if got := latencyLine(&h); got != "no samples" {
+		t.Fatalf("empty histogram line = %q", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	line := latencyLine(&h)
+	// Quantiles interpolate within the log-linear bucket, so pin the
+	// exact max and the millisecond scaling rather than p50's midpoint.
+	if !strings.Contains(line, "max 2ms") || !strings.Contains(line, "p50 1") ||
+		!strings.Contains(line, "ms") || !strings.Contains(line, "n=100") {
+		t.Fatalf("latency line = %q", line)
+	}
+}

@@ -153,6 +153,11 @@ type Options struct {
 	// EventLog, when non-nil, receives every simulation event as it
 	// happens (arrivals, placements, migrations, boots, failures).
 	EventLog func(Event)
+	// RoundTimer, when non-nil, receives the wall-clock duration (in
+	// seconds) of every policy scheduling round — the latency-histogram
+	// hook. Pure observability: it sees wall time only and cannot
+	// perturb the deterministic simulation.
+	RoundTimer func(seconds float64)
 	// JobsCSV, when non-nil, receives a per-job outcome table after
 	// the run (one row per VM).
 	JobsCSV io.Writer
@@ -297,6 +302,7 @@ func NewSimulation(opts Options) (*datacenter.Simulation, error) {
 		CheckpointInterval: opts.CheckpointSeconds,
 		AdaptiveTarget:     opts.AdaptiveTarget,
 		EventLog:           opts.EventLog,
+		RoundTimer:         opts.RoundTimer,
 	}
 	if opts.Classes != nil {
 		cfg.Classes, err = convertClasses(opts.Classes)

@@ -10,6 +10,7 @@ import (
 	"energysched"
 	"energysched/internal/chaos"
 	"energysched/internal/fleet"
+	"energysched/internal/obs"
 	"energysched/internal/workload"
 )
 
@@ -52,6 +53,22 @@ func TestScenario10kByteIdentity(t *testing.T) {
 		if got != serial {
 			t.Fatalf("%s diverged from serial run:\n got %+v\nwant %+v", tc.name, got, serial)
 		}
+	}
+
+	// Maximum-verbosity tracing is a write-only side channel: the
+	// traced sharded run's report is byte-identical to the serial
+	// untraced one, while the ring actually recorded every round with
+	// per-action score terms.
+	ring := obs.NewTraceRing(obs.TraceScores, 4096)
+	traced, err := s.RunWithTrace(4, false, ring)
+	if err != nil {
+		t.Fatalf("traced-scores: %v", err)
+	}
+	if traced != serial {
+		t.Fatalf("traced-scores diverged from serial run:\n got %+v\nwant %+v", traced, serial)
+	}
+	if ring.Seq() == 0 {
+		t.Fatal("scores-verbosity run recorded no traces")
 	}
 }
 

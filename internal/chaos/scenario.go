@@ -7,6 +7,7 @@ import (
 	"energysched/internal/core"
 	"energysched/internal/datacenter"
 	"energysched/internal/metrics"
+	"energysched/internal/obs"
 	"energysched/internal/power"
 	"energysched/internal/simkit"
 	"energysched/internal/workload"
@@ -126,6 +127,10 @@ func (s Scenario) Plan() Plan {
 // at the given shard count (0 = serial, -1 = GOMAXPROCS, K >= 1 = K
 // shards — the byte-identity axis).
 func (s Scenario) Sim(shards int) (*datacenter.Simulation, error) {
+	return s.sim(shards, nil)
+}
+
+func (s Scenario) sim(shards int, sink obs.TraceSink) (*datacenter.Simulation, error) {
 	if s.Nodes <= 0 || s.Days <= 0 {
 		return nil, fmt.Errorf("chaos: scenario %q needs nodes and days", s.Name)
 	}
@@ -135,6 +140,7 @@ func (s Scenario) Sim(shards int) (*datacenter.Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol.Tracer = sink
 	return datacenter.New(datacenter.Config{
 		Classes:      HeterogeneousClasses(s.Nodes),
 		Policy:       pol,
@@ -152,7 +158,15 @@ func (s Scenario) Sim(shards int) (*datacenter.Simulation, error) {
 // byte-identical across shard counts and jitter settings; that
 // identity is the harness's oracle, not an implementation accident.
 func (s Scenario) Run(shards int, jittered bool) (metrics.Report, error) {
-	sim, err := s.Sim(shards)
+	return s.RunWithTrace(shards, jittered, nil)
+}
+
+// RunWithTrace is Run with a decision-trace sink installed on the
+// solver. Tracing is a write-only side channel, so the report must be
+// byte-identical to the untraced run at any verbosity — the scale
+// suite asserts exactly that with the sink at TraceScores.
+func (s Scenario) RunWithTrace(shards int, jittered bool, sink obs.TraceSink) (metrics.Report, error) {
+	sim, err := s.sim(shards, sink)
 	if err != nil {
 		return metrics.Report{}, err
 	}

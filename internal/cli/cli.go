@@ -1,8 +1,9 @@
 // Package cli normalizes the ergonomics of the cmd/* binaries: flag
 // parsing that fails with a one-line usage error (never a stack trace
-// or a full defaults dump), a uniform -version flag fed by the module
-// build info plus an optional ldflags git describe, and -h/-help
-// printing the full flag reference.
+// or a full defaults dump), uniform -version/-log-level/-log-format
+// flags on every binary (version fed by the module build info, the
+// embedded VCS revision, plus an optional ldflags git describe), and
+// -h/-help printing the full flag reference.
 package cli
 
 import (
@@ -10,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
-	"runtime/debug"
+
+	"energysched/internal/obs"
 )
 
 // describe carries `git describe` output when the binary is built with
@@ -24,15 +27,26 @@ var describe string
 // exit is swapped out by tests.
 var exit = os.Exit
 
-// Version renders the module version (from the embedded build info)
-// plus the ldflags git describe, when present.
+// logger is the root structured logger built from -log-level and
+// -log-format during ParseArgs; before any parse it logs info-level
+// text, so early failures still render.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// Logger returns the root slog.Logger configured by the binary's
+// -log-level and -log-format flags. Binaries derive component loggers
+// with Logger().With("component", ...).
+func Logger() *slog.Logger { return logger }
+
+// Version renders the module version (from the embedded build info),
+// the ldflags git describe when present, and the VCS revision Go
+// stamped into the binary.
 func Version() string {
-	v := "(devel)"
-	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
-		v = bi.Main.Version
-	}
+	v := obs.BuildVersion()
 	if describe != "" {
 		v += " " + describe
+	}
+	if rev := obs.BuildRevision(); rev != "" {
+		v += " (" + rev + ")"
 	}
 	return v
 }
@@ -50,6 +64,8 @@ func Parse(name string) {
 func ParseArgs(name string, args []string) {
 	fs := flag.CommandLine
 	version := fs.Bool("version", false, "print version and exit")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	fs.Init(name, flag.ContinueOnError)
 	// Silence the flag package's own error+usage dump; errors are
 	// reported as a single line below.
@@ -70,6 +86,12 @@ func ParseArgs(name string, args []string) {
 		fmt.Printf("%s %s\n", name, Version())
 		exit(0)
 	}
+	l, lerr := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v (run '%s -h' for usage)\n", name, lerr, name)
+		exit(2)
+	}
+	logger = l
 }
 
 // Fatalf prints a one-line error and exits with status 1 (runtime

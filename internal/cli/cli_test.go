@@ -1,7 +1,9 @@
 package cli
 
 import (
+	"context"
 	"flag"
+	"log/slog"
 	"strings"
 	"testing"
 )
@@ -84,5 +86,32 @@ func TestParseArgsHelpExits0(t *testing.T) {
 func TestVersionNonEmpty(t *testing.T) {
 	if v := Version(); v == "" || strings.TrimSpace(v) == "" {
 		t.Fatal("empty version string")
+	}
+}
+
+func TestParseArgsLogFlags(t *testing.T) {
+	old := logger
+	defer func() { logger = old }()
+	_, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		ParseArgs("x", []string{"-log-level", "debug", "-log-format", "json"})
+	})
+	if exited {
+		t.Fatal("valid log flags exited")
+	}
+	if !Logger().Enabled(context.Background(), slog.LevelDebug) {
+		t.Fatal("-log-level debug did not lower the root logger's level")
+	}
+}
+
+func TestParseArgsBadLogLevelExits2(t *testing.T) {
+	old := logger
+	defer func() { logger = old }()
+	code, exited := withExit(t, func() {
+		flag.CommandLine = flag.NewFlagSet("x", flag.ContinueOnError)
+		ParseArgs("x", []string{"-log-level", "chatty"})
+	})
+	if !exited || code != 2 {
+		t.Fatalf("bad log level: exited=%v code=%d, want exit 2", exited, code)
 	}
 }

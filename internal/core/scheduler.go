@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"energysched/internal/cluster"
+	"energysched/internal/obs"
 	"energysched/internal/policy"
 	"energysched/internal/vm"
 )
@@ -22,6 +23,19 @@ type Scheduler struct {
 	cfg Config
 	// Stats accumulates solver diagnostics across rounds.
 	Stats SolverStats
+
+	// Tracer, when non-nil, receives one structured decision trace per
+	// round (see internal/obs). It lives on the struct rather than in
+	// Config so Config stays a comparable value type, and it is a pure
+	// wall-clock side channel: the solver writes traces but never reads
+	// one back, so any verbosity leaves the action stream and Stats
+	// byte-identical to a run with tracing off.
+	Tracer obs.TraceSink
+
+	// traceVerb caches the sink's verbosity for the round in flight;
+	// traceActs is the round's action-trace scratch (see trace.go).
+	traceVerb obs.Verbosity
+	traceActs []obs.ActionTrace
 
 	// --- scratch buffers reused across rounds ---
 	hosts []*cluster.Node
@@ -193,13 +207,19 @@ func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
 		return nil
 	}
 
+	t0 := sch.beginTrace()
+	before := sch.Stats
+
 	s := &sch.sh
 	s.reset(ctx.Now, hosts, cands)
 
+	solver := "incremental"
 	switch {
 	case sch.cfg.NaiveSolver:
+		solver = "naive"
 		sch.solveNaive(s, hosts, cands)
 	case sch.cfg.Shards != 0:
+		solver = "sharded"
 		sch.solveSharded(s, hosts, cands)
 	default:
 		sch.solveIncremental(s, hosts, cands)
@@ -218,6 +238,9 @@ func (sch *Scheduler) Schedule(ctx *policy.Context) []policy.Action {
 		} else {
 			out = append(out, policy.Migrate{VM: v, To: node})
 		}
+	}
+	if sch.traceVerb > obs.TraceOff {
+		sch.emitRoundTrace(ctx.Now, solver, t0, before, len(hosts), len(cands))
 	}
 	return out
 }
@@ -281,6 +304,9 @@ func (sch *Scheduler) solveNaive(s *shadow, hosts []*cluster.Node, cands []*vm.V
 		}
 		if bestVI < 0 {
 			break // no negative values left: suboptimal solution found
+		}
+		if sch.traceVerb >= obs.TraceActions {
+			sch.traceMove(s, bestVI, bestNI)
 		}
 		s.move(bestVI, bestNI)
 		moves++

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"energysched/internal/cluster"
+	"energysched/internal/obs"
 	"energysched/internal/vm"
 )
 
@@ -240,6 +241,9 @@ func (sch *Scheduler) solveSharded(s *shadow, hosts []*cluster.Node, cands []*vm
 		}
 		if bestVI < 0 {
 			break // no negative values left: suboptimal solution found
+		}
+		if sch.traceVerb >= obs.TraceActions {
+			sch.traceMove(s, bestVI, bestNI)
 		}
 		from := s.assign[bestVI]
 		s.move(bestVI, bestNI)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"energysched/internal/cluster"
+	"energysched/internal/obs"
 	"energysched/internal/vm"
 )
 
@@ -165,6 +166,9 @@ func (sch *Scheduler) solveIncremental(s *shadow, hosts []*cluster.Node, cands [
 		}
 		if bestVI < 0 {
 			break // no negative values left: suboptimal solution found
+		}
+		if sch.traceVerb >= obs.TraceActions {
+			sch.traceMove(s, bestVI, bestNI)
 		}
 		from := s.assign[bestVI]
 		s.move(bestVI, bestNI)

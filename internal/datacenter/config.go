@@ -93,6 +93,12 @@ type Config struct {
 	// (arrivals, placements, migrations, boots, failures, ...) as it
 	// happens — the observability hook for timeline tooling.
 	EventLog func(Event)
+
+	// RoundTimer, when non-nil, receives the wall-clock duration (in
+	// seconds) of every policy scheduling round — the latency-histogram
+	// hook. It observes wall time only, never virtual time, so it
+	// cannot perturb the deterministic simulation.
+	RoundTimer func(seconds float64)
 }
 
 // Defaults fills unset fields with the paper's evaluation setup.

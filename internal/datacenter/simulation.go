@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"energysched/internal/cluster"
 	"energysched/internal/core"
@@ -715,7 +716,14 @@ func (s *Simulation) round() {
 		LambdaMin: s.pm.LambdaMin,
 		LambdaMax: s.pm.LambdaMax,
 	}
+	var roundStart time.Time
+	if s.cfg.RoundTimer != nil {
+		roundStart = time.Now()
+	}
 	actions := s.cfg.Policy.Schedule(ctx)
+	if s.cfg.RoundTimer != nil {
+		s.cfg.RoundTimer(time.Since(roundStart).Seconds())
+	}
 	for _, a := range actions {
 		switch act := a.(type) {
 		case policy.Place:

@@ -3,8 +3,10 @@ package fleet
 import (
 	"encoding/json"
 	"sync"
+	"time"
 
 	"energysched/internal/datacenter"
+	"energysched/internal/metrics"
 )
 
 // Broker fans one fleet's simulation events out to SSE subscribers.
@@ -15,6 +17,11 @@ import (
 // than allowed to stall the fleet — the standard slow-consumer
 // contract of event streams.
 type Broker struct {
+	// hist, when non-nil, observes each publish's latency (marshal,
+	// ring store, fan-out). Set once before the first publish; the
+	// histogram is internally locked.
+	hist *metrics.Histogram
+
 	mu      sync.Mutex
 	closed  bool
 	nextSeq uint64
@@ -52,6 +59,9 @@ func newBroker(ringCap int) *Broker {
 // publish assigns the next sequence number, stores the event in the
 // replay ring and forwards it to every live subscriber.
 func (b *Broker) publish(e datacenter.Event) {
+	if b.hist != nil {
+		defer b.hist.ObserveSince(time.Now())
+	}
 	data, err := json.Marshal(e)
 	if err != nil {
 		return // Event is a plain struct; cannot happen

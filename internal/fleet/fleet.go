@@ -29,6 +29,7 @@ import (
 	"energysched/internal/core"
 	"energysched/internal/datacenter"
 	"energysched/internal/metrics"
+	"energysched/internal/obs"
 	"energysched/internal/workload"
 )
 
@@ -82,6 +83,14 @@ type Config struct {
 	// chaos harness's live fault-injection hook (disk-full, torn
 	// writes); leave nil in production.
 	WALFault func(op string) error
+	// TraceVerbosity selects the decision-trace recording level of the
+	// fleet's trace ring: "off" (default), "rounds", "actions" or
+	// "scores". Pure observability — any level leaves the simulation
+	// byte-identical (see internal/obs).
+	TraceVerbosity string
+	// TraceDepth is how many round traces the ring retains (default
+	// 256).
+	TraceDepth int
 	// Logf, when non-nil, receives fleet log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -162,6 +171,8 @@ type Fleet struct {
 	cfg    Config
 	broker *Broker
 	repl   *replFeed
+	ring   *obs.TraceRing
+	hists  fleetHists
 
 	cmds     chan func()
 	stopc    chan struct{}
@@ -186,6 +197,14 @@ type Fleet struct {
 // set (last compaction snapshot + WAL tail), starts its event loop,
 // and returns it.
 func Open(id string, cfg Config) (*Fleet, error) {
+	verb := obs.TraceOff
+	if cfg.TraceVerbosity != "" {
+		v, err := obs.ParseVerbosity(cfg.TraceVerbosity)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %w", id, err)
+		}
+		verb = v
+	}
 	f := &Fleet{
 		id:     id,
 		cfg:    cfg.withDefaults(),
@@ -193,8 +212,10 @@ func Open(id string, cfg Config) (*Fleet, error) {
 		stopc:  make(chan struct{}),
 		broker: newBroker(cfg.EventRing),
 		repl:   newReplFeed(),
+		ring:   obs.NewTraceRing(verb, cfg.TraceDepth),
 		gen:    1,
 	}
+	f.broker.hist = &f.hists.sse
 	jobs, now, sealed, err := f.recover()
 	if err != nil {
 		f.wal.close()
@@ -316,6 +337,7 @@ func (f *Fleet) Close() {
 	f.wg.Wait()
 	f.broker.close()
 	f.repl.close()
+	f.ring.Close()
 	f.wal.close()
 }
 
@@ -401,10 +423,21 @@ func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
 				f.broker.publish(e)
 			}
 		},
+		RoundTimer: func(seconds float64) {
+			if !f.replaying {
+				f.hists.round.Observe(seconds)
+			}
+		},
 	}
 	sim, err := energysched.NewSimulation(opts)
 	if err != nil {
 		return err
+	}
+	// Attach the decision-trace sink directly on the scheduler struct
+	// (never via its comparable Config). Replayed rounds are suppressed
+	// by the sink itself while f.replaying is set.
+	if sch, ok := sim.Policy().(*core.Scheduler); ok {
+		sch.Tracer = &fleetTraceSink{f: f, ring: f.ring}
 	}
 	f.replaying = true
 	defer func() { f.replaying = false }()
@@ -515,6 +548,7 @@ func (f *Fleet) SubmitSource(src workload.JobSource, batchSize int) (int, error)
 // WAL (durability before acknowledgment), then apply to the engine —
 // injection cannot fail after validation, so WAL and memory agree.
 func (f *Fleet) admit(specs []energysched.JobSpec) ([]energysched.JobStatus, error) {
+	defer f.hists.admit.ObserveSince(time.Now())
 	if len(specs) == 0 {
 		return nil, errf(http.StatusBadRequest, "empty batch")
 	}
@@ -614,6 +648,7 @@ func (f *Fleet) logPayloads(payloads [][]byte) error {
 	if f.wal == nil {
 		return nil
 	}
+	defer f.hists.wal.ObserveSince(time.Now())
 	off, records := f.wal.tell()
 	for _, payload := range payloads {
 		if err := f.wal.appendPayload(payload, false); err != nil {
@@ -1088,5 +1123,10 @@ func (f *Fleet) gatherMetrics() []metrics.PromSample {
 			samples = append(samples, metrics.PromSample{Name: m.name, Help: m.help, Kind: metrics.PromCounter, Value: float64(m.v)})
 		}
 	}
+	samples = append(samples, metrics.PromSample{
+		Name: "energysched_trace_rounds_total", Help: "Solver round traces recorded in the trace ring.",
+		Kind: metrics.PromCounter, Value: float64(f.ring.Seq()),
+	})
+	samples = f.hists.samples(samples)
 	return samples
 }

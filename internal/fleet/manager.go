@@ -76,6 +76,8 @@ type manifestConfig struct {
 	EventRing        int     `json:"event_ring,omitempty"`
 	SnapshotInterval int     `json:"snapshot_interval,omitempty"`
 	WALSync          string  `json:"wal_sync,omitempty"`
+	TraceVerbosity   string  `json:"trace_verbosity,omitempty"`
+	TraceDepth       int     `json:"trace_depth,omitempty"`
 }
 
 func toManifestConfig(c Config) manifestConfig {
@@ -96,6 +98,8 @@ func toManifestConfig(c Config) manifestConfig {
 		EventRing:        c.EventRing,
 		SnapshotInterval: c.SnapshotInterval,
 		WALSync:          c.WALSync,
+		TraceVerbosity:   c.TraceVerbosity,
+		TraceDepth:       c.TraceDepth,
 	}
 	if c.Score != nil {
 		mc.HasScore = true
@@ -122,6 +126,8 @@ func (mc manifestConfig) config() Config {
 		EventRing:         mc.EventRing,
 		SnapshotInterval:  mc.SnapshotInterval,
 		WALSync:           mc.WALSync,
+		TraceVerbosity:    mc.TraceVerbosity,
+		TraceDepth:        mc.TraceDepth,
 	}
 	if mc.HasScore {
 		c.Score = &energysched.ScoreParams{Cempty: mc.Cempty, Cfill: mc.Cfill, THempty: mc.THempty}

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"energysched/internal/metrics"
+	"energysched/internal/obs"
+)
+
+// Fleet-side observability: the per-fleet decision-trace ring behind
+// GET /v1/fleets/{id}/trace and the latency histograms the /metrics
+// endpoint exports. Everything here is a wall-clock side channel — the
+// histograms record durations, the ring records what the solver
+// already decided — so none of it can perturb the deterministic
+// simulation (see internal/obs).
+
+// fleetHists groups one fleet's latency histograms. Histograms are
+// internally locked, so the HTTP goroutines may snapshot them while
+// the event loop observes.
+type fleetHists struct {
+	// admit is the admission batch latency: validate + WAL + inject,
+	// one observation per admit() call (Submit, SubmitBatch, batches of
+	// SubmitSource).
+	admit metrics.Histogram
+	// wal is the WAL append+fsync latency, one observation per logged
+	// batch (admissions, seals, replicated records).
+	wal metrics.Histogram
+	// sse is the SSE fan-out latency of the event broker, one
+	// observation per published event (marshal + ring store + fan-out).
+	sse metrics.Histogram
+	// replApply is the replicated-record apply latency on a follower
+	// fleet: decode + WAL + inject + clock catch-up.
+	replApply metrics.Histogram
+	// round is the solver round wall-clock duration, fed by the trace
+	// sink from every round's trace.
+	round metrics.Histogram
+}
+
+// histSamples appends the fleet's histogram families to samples.
+func (h *fleetHists) samples(in []metrics.PromSample) []metrics.PromSample {
+	for _, fam := range []struct {
+		name, help string
+		h          *metrics.Histogram
+	}{
+		{"energysched_admit_batch_seconds", "Admission batch latency: validate + WAL append/fsync + inject.", &h.admit},
+		{"energysched_wal_append_seconds", "WAL append+fsync latency per logged batch.", &h.wal},
+		{"energysched_sse_fanout_seconds", "Event-broker publish latency: marshal, ring store and subscriber fan-out.", &h.sse},
+		{"energysched_repl_apply_seconds", "Replicated-record apply latency on a follower fleet.", &h.replApply},
+		{"energysched_solver_round_seconds", "Solver round wall-clock duration.", &h.round},
+	} {
+		in = append(in, metrics.HistogramSamples(fam.name, fam.help, nil, fam.h)...)
+	}
+	return in
+}
+
+// fleetTraceSink is the obs.TraceSink the fleet installs on its
+// scheduler: the fleet's trace ring, with replayed rounds (crash
+// recovery, restore, replication bootstrap) suppressed — they re-run
+// old decisions, and tracing them would splice stale history into the
+// ring.
+//
+// Verbosity and Emit are only called by the solver, which runs on the
+// fleet's event loop — the same goroutine that flips f.replaying — so
+// reading the flag here is race-free.
+type fleetTraceSink struct {
+	f    *Fleet
+	ring *obs.TraceRing
+}
+
+// Verbosity implements obs.TraceSink.
+func (s *fleetTraceSink) Verbosity() obs.Verbosity {
+	if s.f.replaying {
+		return obs.TraceOff
+	}
+	return s.ring.Verbosity()
+}
+
+// Emit implements obs.TraceSink.
+func (s *fleetTraceSink) Emit(rt obs.RoundTrace) { s.ring.Emit(rt) }
+
+// TraceSeq returns the sequence number of the fleet's most recent
+// trace.
+func (f *Fleet) TraceSeq() uint64 { return f.ring.Seq() }
+
+// TraceSnapshot returns the retained round traces with sequence number
+// > since, oldest first. The ring is internally locked, so this never
+// touches the event loop.
+func (f *Fleet) TraceSnapshot(since uint64) []obs.TraceEvent {
+	return f.ring.Snapshot(since)
+}
+
+// TraceSubscribe registers a trace tail consumer and returns it with
+// the gapless backlog since the given sequence number. Release it with
+// TraceUnsubscribe.
+func (f *Fleet) TraceSubscribe(since uint64) (*obs.TraceSub, []obs.TraceEvent) {
+	return f.ring.Subscribe(since)
+}
+
+// TraceUnsubscribe releases a trace tail consumer.
+func (f *Fleet) TraceUnsubscribe(sub *obs.TraceSub) { f.ring.Unsubscribe(sub) }
+
+// TraceVerbosity returns the ring's recording level.
+func (f *Fleet) TraceVerbosity() obs.Verbosity { return f.ring.Verbosity() }
+
+// SetTraceVerbosity changes the ring's recording level at runtime.
+// Pure observability: any level leaves the fleet's reports and event
+// stream byte-identical.
+func (f *Fleet) SetTraceVerbosity(v obs.Verbosity) { f.ring.SetVerbosity(v) }

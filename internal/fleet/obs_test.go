@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"energysched/internal/metrics"
+	"energysched/internal/obs"
+)
+
+// A live fleet at "scores" verbosity records one decodable round trace
+// per solver round, serves them through the snapshot and subscribe
+// accessors, and — the determinism contract — produces exactly the
+// drained report of a tracerless twin.
+func TestFleetTraceRing(t *testing.T) {
+	cfg := Config{Policy: "SB", Seed: 1, TraceVerbosity: "scores", TraceDepth: 64}
+	f, err := Open("traced", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	sub, backlog := f.TraceSubscribe(0)
+	defer f.TraceUnsubscribe(sub)
+	if len(backlog) != 0 {
+		t.Fatalf("fresh fleet has %d backlog traces", len(backlog))
+	}
+
+	submitN(t, f, 12, 0)
+	rep, err := f.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := drainedReport(t, 12); rep != want {
+		t.Fatalf("traced drain diverged from tracerless twin:\n got %+v\nwant %+v", rep, want)
+	}
+
+	evs := f.TraceSnapshot(0)
+	if len(evs) == 0 {
+		t.Fatal("no round traces recorded for a drained workload")
+	}
+	if f.TraceSeq() != evs[len(evs)-1].Seq {
+		t.Fatalf("TraceSeq %d != last snapshot seq %d", f.TraceSeq(), evs[len(evs)-1].Seq)
+	}
+	sawAction := false
+	for _, ev := range evs {
+		var rt obs.RoundTrace
+		if err := json.Unmarshal(ev.Data, &rt); err != nil {
+			t.Fatalf("trace %d does not decode: %v", ev.Seq, err)
+		}
+		if rt.Solver == "" || rt.Hosts <= 0 {
+			t.Fatalf("trace %d is malformed: %+v", ev.Seq, rt)
+		}
+		for _, at := range rt.Actions {
+			sawAction = true
+			if at.Terms == nil {
+				t.Fatalf("trace %d: action without score terms at scores verbosity", ev.Seq)
+			}
+		}
+	}
+	if !sawAction {
+		t.Fatal("12 placed jobs produced no action traces")
+	}
+	// The tail subscriber saw the same stream.
+	tail := 0
+	for range sub.Ch {
+		tail++
+		if tail == len(evs) {
+			break
+		}
+	}
+	if tail != len(evs) {
+		t.Fatalf("tail subscriber got %d traces, snapshot has %d", tail, len(evs))
+	}
+
+	if got := f.TraceVerbosity(); got != obs.TraceScores {
+		t.Fatalf("TraceVerbosity = %v, want scores", got)
+	}
+	f.SetTraceVerbosity(obs.TraceOff)
+	if got := f.TraceVerbosity(); got != obs.TraceOff {
+		t.Fatalf("SetTraceVerbosity did not take: %v", got)
+	}
+}
+
+// A bad verbosity spelling is refused at Open, not at first use.
+func TestFleetTraceBadVerbosity(t *testing.T) {
+	if _, err := Open("bad", Config{TraceVerbosity: "verbose"}); err == nil {
+		t.Fatal("Open accepted an unknown trace verbosity")
+	}
+}
+
+// Crash recovery must not splice replayed rounds into the trace ring:
+// after a kill and reopen, the ring starts empty even though the
+// recovered fleet re-ran every scheduling round during replay.
+func TestFleetTraceSuppressedDuringReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	cfg := testConfig(dir)
+	cfg.TraceVerbosity = "actions"
+	f, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 10, 0)
+	if f.TraceSeq() == 0 {
+		t.Fatal("live admissions recorded no traces")
+	}
+	f.Close()
+
+	f2, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if n := f2.TraceSeq(); n != 0 {
+		t.Fatalf("recovery replay leaked %d traces into the ring", n)
+	}
+	// New live rounds trace again.
+	submitN(t, f2, 2, 10)
+	if f2.TraceSeq() == 0 {
+		t.Fatal("post-recovery admissions recorded no traces")
+	}
+}
+
+// The fleet's /metrics samples include the latency histogram families
+// with observations from a real workload, and they render through
+// WriteProm as well-formed histogram expositions.
+func TestFleetHistogramMetrics(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "f")
+	f, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	submitN(t, f, 10, 0)
+
+	samples, err := f.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		if s.Kind == metrics.PromHistogram && s.Suffix == "_count" {
+			counts[s.Name] = s.Value
+		}
+	}
+	for name, wantObs := range map[string]bool{
+		"energysched_admit_batch_seconds":  true,
+		"energysched_wal_append_seconds":   true,
+		"energysched_solver_round_seconds": true,
+		"energysched_sse_fanout_seconds":   true,
+		"energysched_repl_apply_seconds":   false, // leader fleet: no replicated records
+	} {
+		got, ok := counts[name]
+		if !ok {
+			t.Errorf("metrics missing histogram family %s", name)
+			continue
+		}
+		if wantObs && got == 0 {
+			t.Errorf("%s_count = 0, want observations after 10 admissions", name)
+		}
+	}
+
+	var sb strings.Builder
+	if err := metrics.WriteProm(&sb, metrics.MergeByName(samples)); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE energysched_admit_batch_seconds histogram",
+		`energysched_admit_batch_seconds_bucket{le="+Inf"}`,
+		"energysched_admit_batch_seconds_sum",
+		"energysched_admit_batch_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // Warm-standby replication, fleet side. The admission log IS the
@@ -266,6 +267,7 @@ func (f *Fleet) ApplyReplRecord(rec ReplRecord) error {
 
 // applyRecord is ApplyReplRecord on the event loop.
 func (f *Fleet) applyRecord(rec ReplRecord) error {
+	defer f.hists.replApply.ObserveSince(time.Now())
 	var wrec walRecord
 	if err := json.Unmarshal(rec.Data, &wrec); err != nil {
 		return errf(http.StatusBadRequest, "decoding replicated record: %v", err)

@@ -199,3 +199,90 @@ func TestWritePromEscaping(t *testing.T) {
 		t.Error("empty metric name accepted")
 	}
 }
+
+// TestWritePromHostileFleetNames: fleet IDs are attacker-controlled
+// label values (they come straight from PUT /v1/fleets/{id}), so every
+// exposition-format metacharacter must escape to exactly one
+// well-formed series line. The want strings are the literal bytes a
+// scraper reads.
+func TestWritePromHostileFleetNames(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fleet string
+		want  string // full expected sample line
+	}{
+		{"backslash", `a\b`, `es_up{fleet="a\\b"} 1`},
+		{"quote", `a"b`, `es_up{fleet="a\"b"} 1`},
+		{"newline", "a\nb", `es_up{fleet="a\nb"} 1`},
+		{"quote-then-backslash", `"\`, `es_up{fleet="\"\\"} 1`},
+		{"all-three", "\\\"\n", `es_up{fleet="\\\"\n"} 1`},
+		{"escape-lookalike", `a\nb`, `es_up{fleet="a\\nb"} 1`}, // literal backslash-n stays distinguishable
+		{"trailing-backslash", `trail\`, `es_up{fleet="trail\\"} 1`},
+		{"unicode", "flotte-\u00e9\u4e16", "es_up{fleet=\"flotte-\u00e9\u4e16\"} 1"},
+		{"braces-and-equals", `a{b="c"}`, `es_up{fleet="a{b=\"c\"}"} 1`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := WriteProm(&buf, []PromSample{
+				{Name: "es_up", Labels: map[string]string{"fleet": tc.fleet}, Value: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+			// Header line + exactly one sample line: a raw newline in a
+			// label value must never produce extra lines.
+			if len(lines) != 2 {
+				t.Fatalf("%d lines, want 2 (TYPE + sample):\n%q", len(lines), buf.String())
+			}
+			if lines[1] != tc.want {
+				t.Errorf("sample line:\n got %q\nwant %q", lines[1], tc.want)
+			}
+		})
+	}
+}
+
+// TestWritePromRejectsBadLabelNames: label names cannot be escaped in
+// the exposition format, so invalid ones must error out instead of
+// corrupting the scrape.
+func TestWritePromRejectsBadLabelNames(t *testing.T) {
+	for _, bad := range []string{"", "9lives", "a-b", "a b", "a\"b", "ключ"} {
+		var buf bytes.Buffer
+		err := WriteProm(&buf, []PromSample{
+			{Name: "es_up", Labels: map[string]string{bad: "v"}, Value: 1},
+		})
+		if err == nil {
+			t.Errorf("label name %q accepted", bad)
+		}
+	}
+	// Valid edge cases still pass.
+	for _, ok := range []string{"_", "a", "A9", "fleet_id_2"} {
+		var buf bytes.Buffer
+		err := WriteProm(&buf, []PromSample{
+			{Name: "es_up", Labels: map[string]string{ok: "v"}, Value: 1},
+		})
+		if err != nil {
+			t.Errorf("label name %q rejected: %v", ok, err)
+		}
+	}
+}
+
+// TestWritePromSpecialValues: ±Inf and NaN render as the spelled-out
+// exposition tokens, not Go's float formatting.
+func TestWritePromSpecialValues(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProm(&buf, []PromSample{
+		{Name: "es_a", Value: math.Inf(1)},
+		{Name: "es_b", Value: math.Inf(-1)},
+		{Name: "es_c", Value: math.NaN()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"es_a +Inf\n", "es_b -Inf\n", "es_c NaN\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,15 +21,23 @@ type PromKind string
 
 // Prometheus metric types.
 const (
-	PromGauge   PromKind = "gauge"
-	PromCounter PromKind = "counter"
+	PromGauge     PromKind = "gauge"
+	PromCounter   PromKind = "counter"
+	PromHistogram PromKind = "histogram"
 )
 
 // PromSample is one exposed time series: a metric name, its metadata,
 // optional labels, and the current value.
 type PromSample struct {
-	// Name is the metric name (e.g. "energysched_power_watts").
+	// Name is the metric name (e.g. "energysched_power_watts"). For
+	// histogram series this is the family name; the per-line series
+	// name is Name+Suffix.
 	Name string
+	// Suffix is appended to Name on the sample line but not in the
+	// # HELP / # TYPE header — the histogram convention, where the
+	// family "x" exposes lines "x_bucket", "x_sum" and "x_count" under
+	// a single "# TYPE x histogram" header.
+	Suffix string
 	// Help is the one-line metric description.
 	Help string
 	// Kind is the metric type (gauge when empty).
@@ -42,11 +51,19 @@ type PromSample struct {
 // WriteProm renders samples in the Prometheus text exposition format.
 // Samples sharing a name must be adjacent; the # HELP / # TYPE header
 // is emitted once per name, taken from the first sample of the run.
+// Label names must match the exposition grammar
+// ([a-zA-Z_][a-zA-Z0-9_]*); label values may contain anything — the
+// writer escapes backslashes, quotes and newlines so hostile fleet IDs
+// cannot break the format.
 func WriteProm(w io.Writer, samples []PromSample) error {
 	var prev string
 	for _, s := range samples {
 		if s.Name == "" {
 			return fmt.Errorf("metrics: prom sample with empty name")
+		}
+		labels, err := promLabels(s.Labels)
+		if err != nil {
+			return fmt.Errorf("metrics: sample %s: %w", s.Name, err)
 		}
 		if s.Name != prev {
 			kind := s.Kind
@@ -63,12 +80,61 @@ func WriteProm(w io.Writer, samples []PromSample) error {
 			}
 			prev = s.Name
 		}
-		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels),
-			strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s%s %s\n", s.Name, s.Suffix, labels,
+			formatPromValue(s.Value)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// HistogramSamples renders one Histogram as a Prometheus histogram
+// family: cumulative _bucket series (including the +Inf bucket), _sum
+// and _count, all carrying the given labels. The samples share Name,
+// so WriteProm emits one "# TYPE name histogram" header and
+// MergeByName keeps per-fleet series of the same family adjacent.
+func HistogramSamples(name, help string, labels map[string]string, h *Histogram) []PromSample {
+	snap := h.Snapshot()
+	bounds := HistBounds()
+	out := make([]PromSample, 0, len(bounds)+3)
+	var cum uint64
+	addBucket := func(le string, c uint64) {
+		ls := make(map[string]string, len(labels)+1)
+		for k, v := range labels {
+			ls[k] = v
+		}
+		ls["le"] = le
+		out = append(out, PromSample{
+			Name: name, Suffix: "_bucket", Help: help, Kind: PromHistogram,
+			Labels: ls, Value: float64(c),
+		})
+	}
+	for i, b := range bounds {
+		cum += snap.Counts[i]
+		addBucket(strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += snap.Counts[len(bounds)]
+	addBucket("+Inf", cum)
+	out = append(out,
+		PromSample{Name: name, Suffix: "_sum", Kind: PromHistogram, Labels: labels, Value: snap.Sum},
+		PromSample{Name: name, Suffix: "_count", Kind: PromHistogram, Labels: labels, Value: float64(snap.Count)},
+	)
+	return out
+}
+
+// formatPromValue renders a float the way Prometheus scrapers expect:
+// shortest round-trip representation, with the spelled-out +Inf/-Inf
+// and NaN specials.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // MergeByName interleaves several sample sets into one
@@ -96,12 +162,15 @@ func MergeByName(sets ...[]PromSample) []PromSample {
 	return out
 }
 
-func promLabels(labels map[string]string) string {
+func promLabels(labels map[string]string) (string, error) {
 	if len(labels) == 0 {
-		return ""
+		return "", nil
 	}
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
+		if !validLabelName(k) {
+			return "", fmt.Errorf("invalid label name %q", k)
+		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -117,15 +186,39 @@ func promLabels(labels map[string]string) string {
 		b.WriteByte('"')
 	}
 	b.WriteByte('}')
-	return b.String()
+	return b.String(), nil
 }
 
-func escapePromLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
+// validLabelName reports whether k matches the exposition grammar
+// [a-zA-Z_][a-zA-Z0-9_]*. Label VALUES are free-form (escaped); label
+// NAMES are not escapable, so a bad one must be rejected rather than
+// emitted as a corrupt scrape.
+func validLabelName(k string) bool {
+	if k == "" {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
-func escapePromHelp(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
-	return r.Replace(v)
-}
+// The escaping replacers are built once: WriteProm runs on every
+// /metrics scrape across every fleet's sample set.
+var (
+	promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	promHelpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+func escapePromLabel(v string) string { return promLabelEscaper.Replace(v) }
+
+func escapePromHelp(v string) string { return promHelpEscaper.Replace(v) }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identity, read once from the build info Go embeds in every
+// binary. The VCS fields are stamped by `go build` inside a git
+// checkout; `go test` binaries and builds outside a checkout carry
+// none, so both accessors degrade to stable placeholders.
+
+var buildInfo = sync.OnceValues(func() (version, revision string) {
+	version = "(devel)"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, ""
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty && rev != "" {
+		rev += "+dirty"
+	}
+	return version, rev
+})
+
+// BuildVersion returns the module version from the embedded build
+// info ("(devel)" for plain builds).
+func BuildVersion() string {
+	v, _ := buildInfo()
+	return v
+}
+
+// BuildRevision returns the VCS revision the binary was built from
+// (truncated to 12 hex digits, "+dirty" when the checkout had local
+// modifications), or "" when the build embedded no VCS info.
+func BuildRevision() string {
+	_, r := buildInfo()
+	return r
+}

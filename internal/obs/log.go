@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Structured logging for the binaries: every cmd/* main builds one
+// root slog.Logger from its -log-level/-log-format flags (registered
+// by internal/cli) and derives component loggers with
+// logger.With("component", ...). Libraries keep taking plain
+// Logf(format, args...) funcs — LogfAdapter bridges the two so no
+// internal package grows a slog dependency in its config surface.
+
+// NewLogger builds a slog.Logger writing to w. level is one of
+// debug|info|warn|error; format is text|json.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text|json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// LogfAdapter wraps a component logger as the Logf(format, args...)
+// func the internal packages take in their configs. Each line becomes
+// one Info record whose msg is the formatted string.
+func LogfAdapter(l *slog.Logger) func(format string, args ...interface{}) {
+	return func(format string, args ...interface{}) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

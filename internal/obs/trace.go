@@ -1,0 +1,322 @@
+// Package obs is the observability layer's leaf: the decision-trace
+// schema the solver emits, the bounded per-fleet trace ring the API
+// serves, and the structured-logging helpers the binaries share. It
+// imports nothing above the standard library so every layer — core
+// included — can depend on it without cycles.
+//
+// Determinism contract: everything here is a wall-clock side channel.
+// The solver WRITES traces; nothing in the scheduling path ever READS
+// one back, so any verbosity (including TraceScores) leaves the
+// simulation byte-for-byte identical to a run with tracing off. The
+// chaos byte-identity suite enforces this at 10k nodes.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ClampJSON maps non-finite scores onto ±MaxFloat64 (and NaN onto 0)
+// so trace records survive encoding/json, which has no Inf token. An
+// infeasible current host therefore shows up as MaxFloat64 — still
+// unmistakably "infinite" next to real scores — instead of failing to
+// encode.
+func ClampJSON(v float64) float64 {
+	switch {
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	case math.IsNaN(v):
+		return 0
+	}
+	return v
+}
+
+// Verbosity selects how much the solver records per round.
+type Verbosity int32
+
+const (
+	// TraceOff records nothing.
+	TraceOff Verbosity = iota
+	// TraceRounds records per-round summaries: timings, candidate and
+	// host counts, move counts, carry/dirty statistics.
+	TraceRounds
+	// TraceActions adds one "why" record per applied action: the
+	// scores compared and the winning margin.
+	TraceActions
+	// TraceScores (maximum) adds the score-term breakdown — the
+	// green-energy/power and SLA components — to every action record.
+	TraceScores
+)
+
+// ParseVerbosity maps the flag spellings to a level.
+func ParseVerbosity(s string) (Verbosity, error) {
+	switch s {
+	case "off", "none", "0":
+		return TraceOff, nil
+	case "rounds", "1":
+		return TraceRounds, nil
+	case "actions", "2":
+		return TraceActions, nil
+	case "scores", "full", "max", "3":
+		return TraceScores, nil
+	}
+	return TraceOff, fmt.Errorf("obs: unknown trace verbosity %q (off|rounds|actions|scores)", s)
+}
+
+// String renders the canonical flag spelling.
+func (v Verbosity) String() string {
+	switch v {
+	case TraceRounds:
+		return "rounds"
+	case TraceActions:
+		return "actions"
+	case TraceScores:
+		return "scores"
+	}
+	return "off"
+}
+
+// ScoreTerms is the per-action score decomposition recorded at
+// TraceScores: the components of the paper's placement score for the
+// chosen target, so a migration is explainable down to which term won.
+type ScoreTerms struct {
+	// Base is the time-independent half (resource fits, concurrency,
+	// power, fault terms) of the chosen cell.
+	Base float64 `json:"base"`
+	// Time is the time-dependent half (virtualization overhead + SLA)
+	// of the chosen cell.
+	Time float64 `json:"time"`
+	// Power is the green-energy/consolidation term Ppwr of the chosen
+	// cell in isolation.
+	Power float64 `json:"power"`
+	// SLA is the deadline-satisfaction term PSLA of the chosen cell in
+	// isolation.
+	SLA float64 `json:"sla"`
+}
+
+// ActionTrace is one applied solver action and why it won.
+type ActionTrace struct {
+	// Kind is "place" (from queue) or "migrate".
+	Kind string `json:"kind"`
+	// VM is the VM's ID.
+	VM int `json:"vm"`
+	// From is the source node ID, -1 for a placement from the queue.
+	From int `json:"from"`
+	// To is the chosen target node ID.
+	To int `json:"to"`
+	// Current is the score of leaving the VM where it is (the queue
+	// score for a queued VM, the current host's cell otherwise).
+	Current float64 `json:"current"`
+	// Chosen is the winning target's score.
+	Chosen float64 `json:"chosen"`
+	// Gain is the winning margin Chosen − Current; more negative is
+	// better (the solver minimizes), and for a migration it cleared
+	// the hysteresis threshold.
+	Gain float64 `json:"gain"`
+	// Terms is the score breakdown (TraceScores only).
+	Terms *ScoreTerms `json:"terms,omitempty"`
+}
+
+// RoundTrace is one solver round's structured trace.
+type RoundTrace struct {
+	// Seq is the ring-assigned sequence number, monotonically
+	// increasing per fleet (assigned by TraceRing.Emit; 0 before).
+	Seq uint64 `json:"seq"`
+	// Round is the scheduler's round counter after this round.
+	Round int `json:"round"`
+	// Now is the simulation's virtual time at the round, in seconds.
+	Now float64 `json:"now"`
+	// Solver names the engine: "naive", "incremental" or "sharded".
+	Solver string `json:"solver"`
+	// Shards is the shard count for a sharded round (0 otherwise).
+	Shards int `json:"shards,omitempty"`
+	// WallNanos is the wall-clock duration of the whole round.
+	WallNanos int64 `json:"wall_ns"`
+	// Hosts and Candidates size the round's score matrix.
+	Hosts      int `json:"hosts"`
+	Candidates int `json:"candidates"`
+	// Moves is the number of actions the hill climber applied.
+	Moves int `json:"moves"`
+	// ScoreEvals counts full score evaluations this round.
+	ScoreEvals int `json:"score_evals"`
+	// Carry/dirty statistics for this round: matrix cells reused from
+	// the previous round, and rows/columns whose carry keys went stale.
+	ReusedCells int `json:"reused_cells"`
+	StaleRows   int `json:"stale_rows"`
+	StaleCols   int `json:"stale_cols"`
+	// LimitHit reports that the round stopped on the iteration cap
+	// rather than convergence.
+	LimitHit bool `json:"limit_hit,omitempty"`
+	// Actions holds the per-action why records (TraceActions and up).
+	Actions []ActionTrace `json:"actions,omitempty"`
+}
+
+// TraceSink receives solver round traces. The solver consults
+// Verbosity() once per round (so a sink may flip levels at runtime)
+// and calls Emit for every round when the level is above TraceOff.
+type TraceSink interface {
+	Verbosity() Verbosity
+	Emit(rt RoundTrace)
+}
+
+// TraceEvent is one ring entry: the sequence number and the
+// pre-marshaled RoundTrace JSON, ready for the API to serve without
+// re-encoding.
+type TraceEvent struct {
+	Seq  uint64
+	Data []byte
+}
+
+// traceSubBuffer is each tail subscriber's channel depth; a consumer
+// lagging further is disconnected, mirroring the event broker's
+// slow-consumer contract.
+const traceSubBuffer = 64
+
+// TraceSub is one SSE tail consumer's view of the trace stream. Ch is
+// closed when the consumer falls too far behind or the ring closes.
+type TraceSub struct {
+	Ch chan TraceEvent
+}
+
+// TraceRing is a bounded ring of round traces with SSE-style tail
+// subscriptions: the per-fleet decision log behind GET /trace. It
+// implements TraceSink; Emit assigns sequence numbers, marshals once
+// and fans out. Safe for one writer (the fleet's event loop) and any
+// number of concurrent readers.
+type TraceRing struct {
+	mu      sync.Mutex
+	verb    Verbosity
+	closed  bool
+	nextSeq uint64
+	ring    []TraceEvent // circular; oldest entry at head once full
+	head    int
+	ringCap int
+	subs    map[*TraceSub]struct{}
+}
+
+// NewTraceRing builds a ring holding the last depth rounds (default
+// 256 when depth <= 0) at the given verbosity.
+func NewTraceRing(verb Verbosity, depth int) *TraceRing {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &TraceRing{verb: verb, ringCap: depth, subs: make(map[*TraceSub]struct{})}
+}
+
+// Verbosity returns the ring's recording level.
+func (r *TraceRing) Verbosity() Verbosity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.verb
+}
+
+// SetVerbosity changes the recording level at runtime.
+func (r *TraceRing) SetVerbosity(v Verbosity) {
+	r.mu.Lock()
+	r.verb = v
+	r.mu.Unlock()
+}
+
+// Emit assigns the next sequence number, stores the trace in the ring
+// and forwards it to every live subscriber.
+func (r *TraceRing) Emit(rt RoundTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.nextSeq++
+	rt.Seq = r.nextSeq
+	data, err := json.Marshal(rt)
+	if err != nil {
+		return // plain structs; cannot happen
+	}
+	ev := TraceEvent{Seq: rt.Seq, Data: data}
+	if len(r.ring) < r.ringCap {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.head] = ev
+		r.head = (r.head + 1) % r.ringCap
+	}
+	for sub := range r.subs {
+		select {
+		case sub.Ch <- ev:
+		default:
+			// Slow tail consumer: cut it loose so tracing never
+			// backpressures the event loop.
+			delete(r.subs, sub)
+			close(sub.Ch)
+		}
+	}
+}
+
+// Seq returns the sequence number of the most recent trace.
+func (r *TraceRing) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextSeq
+}
+
+// Snapshot returns the retained traces with sequence number > since,
+// oldest first.
+func (r *TraceRing) Snapshot(since uint64) []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.backlogLocked(since)
+}
+
+func (r *TraceRing) backlogLocked(since uint64) []TraceEvent {
+	var out []TraceEvent
+	for i := 0; i < len(r.ring); i++ {
+		ev := r.ring[(r.head+i)%len(r.ring)] // oldest first
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a tail consumer and returns it along with the
+// backlog of retained traces with sequence number > since. Registering
+// and snapshotting under one lock makes the hand-off gapless.
+func (r *TraceRing) Subscribe(since uint64) (*TraceSub, []TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	backlog := r.backlogLocked(since)
+	sub := &TraceSub{Ch: make(chan TraceEvent, traceSubBuffer)}
+	if r.closed {
+		close(sub.Ch)
+		return sub, backlog
+	}
+	r.subs[sub] = struct{}{}
+	return sub, backlog
+}
+
+// Unsubscribe removes the subscriber; safe after a slow-consumer
+// disconnect or ring close.
+func (r *TraceRing) Unsubscribe(sub *TraceSub) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.subs[sub]; ok {
+		delete(r.subs, sub)
+		close(sub.Ch)
+	}
+}
+
+// Close disconnects every subscriber and drops future emissions.
+func (r *TraceRing) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for sub := range r.subs {
+		delete(r.subs, sub)
+		close(sub.Ch)
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseVerbosityRoundTrip(t *testing.T) {
+	for _, v := range []Verbosity{TraceOff, TraceRounds, TraceActions, TraceScores} {
+		got, err := ParseVerbosity(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVerbosity(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if _, err := ParseVerbosity("loud"); err == nil {
+		t.Error("bad verbosity accepted")
+	}
+	if v, err := ParseVerbosity("max"); err != nil || v != TraceScores {
+		t.Errorf(`ParseVerbosity("max") = %v, %v`, v, err)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(TraceRounds, 4)
+	for i := 0; i < 10; i++ {
+		r.Emit(RoundTrace{Round: i})
+	}
+	if r.Seq() != 10 {
+		t.Fatalf("Seq = %d", r.Seq())
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want ring cap 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i) // oldest retained is seq 7
+		if ev.Seq != wantSeq {
+			t.Errorf("entry %d seq %d, want %d", i, ev.Seq, wantSeq)
+		}
+		var rt RoundTrace
+		if err := json.Unmarshal(ev.Data, &rt); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Seq != wantSeq || rt.Round != int(wantSeq)-1 {
+			t.Errorf("payload %d = %+v", i, rt)
+		}
+	}
+	// since filters the backlog.
+	if got := r.Snapshot(9); len(got) != 1 || got[0].Seq != 10 {
+		t.Errorf("Snapshot(9) = %+v", got)
+	}
+	if got := r.Snapshot(10); len(got) != 0 {
+		t.Errorf("Snapshot(10) = %+v", got)
+	}
+}
+
+// TestTraceRingConcurrentReaders hammers one writer (the event-loop
+// role) against concurrent snapshot readers and tail subscribers while
+// the ring is constantly evicting. Run under -race, this is the
+// eviction/readers lockdown: no torn reads, every delivered event is
+// intact and strictly ordered per subscriber.
+func TestTraceRingConcurrentReaders(t *testing.T) {
+	r := NewTraceRing(TraceScores, 8)
+	const rounds = 2000
+	var wg sync.WaitGroup
+
+	// Snapshot readers: sequences must be ascending and payloads
+	// intact while eviction churns underneath them.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				evs := r.Snapshot(0)
+				var prev uint64
+				for _, ev := range evs {
+					if ev.Seq <= prev {
+						t.Errorf("snapshot out of order: %d after %d", ev.Seq, prev)
+						return
+					}
+					prev = ev.Seq
+					var rt RoundTrace
+					if err := json.Unmarshal(ev.Data, &rt); err != nil {
+						t.Errorf("torn payload: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Tail subscribers: strictly increasing sequences until cut loose
+	// (slow-consumer disconnect is expected under load, not an error).
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, backlog := r.Subscribe(0)
+			defer r.Unsubscribe(sub)
+			var prev uint64
+			for _, ev := range backlog {
+				if ev.Seq <= prev {
+					t.Errorf("backlog out of order")
+					return
+				}
+				prev = ev.Seq
+			}
+			for ev := range sub.Ch {
+				if ev.Seq <= prev {
+					t.Errorf("tail out of order: %d after %d", ev.Seq, prev)
+					return
+				}
+				prev = ev.Seq
+			}
+		}()
+	}
+
+	// Churning verbosity mirrors a runtime SetVerbosity while rounds
+	// are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			r.SetVerbosity(Verbosity(i % 4))
+			_ = r.Verbosity()
+		}
+	}()
+
+	for i := 0; i < rounds; i++ {
+		r.Emit(RoundTrace{Round: i, Actions: []ActionTrace{{Kind: "place", VM: i}}})
+	}
+	r.Close()
+	wg.Wait()
+	if got := r.Seq(); got != rounds {
+		t.Fatalf("Seq = %d, want %d", got, rounds)
+	}
+	// Emissions after Close are dropped, subscriptions drain instantly.
+	r.Emit(RoundTrace{})
+	if got := r.Seq(); got != rounds {
+		t.Fatalf("post-close emit advanced seq to %d", got)
+	}
+	sub, _ := r.Subscribe(0)
+	if _, ok := <-sub.Ch; ok {
+		t.Fatal("subscription on closed ring not closed")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hello", "component", "test")
+	var rec map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["component"] != "test" {
+		t.Errorf("record = %v", rec)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering: %q", out)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logf := LogfAdapter(l.With("component", "fleet"))
+	logf("x=%d", 7)
+	if out := buf.String(); !strings.Contains(out, "x=7") || !strings.Contains(out, "component=fleet") {
+		t.Errorf("adapter line: %q", out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"energysched"
 	"energysched/internal/fleet"
+	"energysched/internal/metrics"
 )
 
 // Follower mirrors every fleet of a leader daemon. It discovers the
@@ -37,6 +38,12 @@ type Follower struct {
 	loops     map[string]struct{}
 	contact   time.Time // last successful leader exchange, any fleet
 	connected bool      // ever reached the leader
+
+	// lagHist observes the records-behind-leader lag after each applied
+	// record; applyHist observes each record's apply latency in seconds.
+	// Both are internally locked and exported by the server's /metrics.
+	lagHist   metrics.Histogram
+	applyHist metrics.Histogram
 }
 
 // Config parameterizes a follower.
@@ -215,6 +222,15 @@ func (fw *Follower) MaxLag() int64 {
 		}
 	}
 	return max
+}
+
+// MetricsSamples returns the follower's replication histogram
+// families: records-behind-leader lag and per-record apply latency.
+func (fw *Follower) MetricsSamples() []metrics.PromSample {
+	out := metrics.HistogramSamples("energysched_repl_lag_records",
+		"Records behind the leader after each applied record.", nil, &fw.lagHist)
+	return append(out, metrics.HistogramSamples("energysched_repl_record_apply_seconds",
+		"Per-record apply latency on the follower (stream decode to event-loop apply).", nil, &fw.applyHist)...)
 }
 
 // LastContact returns the time of the last successful leader exchange.
@@ -397,6 +413,7 @@ func (fw *Follower) apply(id string, f *fleet.Fleet, frame Frame) bool {
 			}
 		})
 	case KindRecord:
+		start := time.Now()
 		err := f.ApplyReplRecord(fleet.ReplRecord{Offset: frame.Offset, Now: frame.Now, Data: frame.Record})
 		if err != nil {
 			// A gap (409) means this stream skipped records — e.g. the
@@ -404,11 +421,13 @@ func (fw *Follower) apply(id string, f *fleet.Fleet, frame Frame) bool {
 			fw.cfg.Logf("replication: %s record %d: %v", id, frame.Offset, err)
 			return false
 		}
+		fw.applyHist.ObserveSince(start)
 		fw.position(id, func(p *Position) {
 			p.Applied = frame.Offset
 			if frame.Offset > p.LeaderHead {
 				p.LeaderHead = frame.Offset
 			}
+			fw.lagHist.Observe(float64(p.Lag()))
 		})
 	case KindPing:
 		if err := f.AdvanceTo(frame.Now); err != nil {

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"energysched/internal/fleet"
+	"energysched/internal/metrics"
+	"energysched/internal/obs"
+)
+
+// Server-side observability: per-route HTTP latency histograms and the
+// decision-trace API (GET /trace snapshot + SSE tail, POST
+// /trace/verbosity). Like everything under internal/obs this is a
+// wall-clock side channel — no handler here can influence a fleet's
+// scheduling decisions.
+
+// routeHists aggregates request latency per matched route pattern
+// ("GET /v1/fleets/{fleet}/jobs"). Patterns are a small fixed set, so
+// the map grows to the route table and stops.
+type routeHists struct {
+	mu sync.Mutex
+	m  map[string]*metrics.Histogram
+}
+
+func (rh *routeHists) observe(route string, seconds float64) {
+	rh.mu.Lock()
+	h, ok := rh.m[route]
+	if !ok {
+		if rh.m == nil {
+			rh.m = make(map[string]*metrics.Histogram)
+		}
+		h = &metrics.Histogram{}
+		rh.m[route] = h
+	}
+	rh.mu.Unlock()
+	// Histograms lock internally; observing outside rh.mu keeps the
+	// map lock uncontended.
+	h.Observe(seconds)
+}
+
+// samples renders every route's family, routes sorted for a stable
+// exposition.
+func (rh *routeHists) samples() []metrics.PromSample {
+	rh.mu.Lock()
+	routes := make([]string, 0, len(rh.m))
+	for route := range rh.m {
+		routes = append(routes, route)
+	}
+	hists := make([]*metrics.Histogram, 0, len(routes))
+	sort.Strings(routes)
+	for _, route := range routes {
+		hists = append(hists, rh.m[route])
+	}
+	rh.mu.Unlock()
+	var out []metrics.PromSample
+	for i, route := range routes {
+		out = append(out, metrics.HistogramSamples(
+			"energysched_http_request_seconds",
+			"HTTP request latency by matched route (streaming routes measure connection lifetime).",
+			map[string]string{"route": route}, hists[i])...)
+	}
+	return out
+}
+
+// withRouteMetrics wraps the mux so every request feeds the per-route
+// latency histogram. The route label is the mux pattern, not the raw
+// URL — unbounded label cardinality would make /metrics a memory leak.
+func (s *Server) withRouteMetrics(next *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		_, route := next.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		s.httpHists.observe(route, time.Since(start).Seconds())
+	})
+}
+
+// TraceSnapshotBody is the JSON body of GET /trace: the ring's head
+// sequence, the recording level, and the retained round traces (the
+// ring stores them pre-marshaled, so they pass through verbatim).
+type TraceSnapshotBody struct {
+	Seq       uint64            `json:"seq"`
+	Verbosity string            `json:"verbosity"`
+	Traces    []json.RawMessage `json:"traces"`
+}
+
+// handleTrace serves one fleet's decision-trace ring
+// (GET /v1/fleets/{id}/trace): by default a JSON snapshot of the
+// retained rounds with sequence > ?since, with ?follow=1 an SSE tail
+// that replays the backlog and then streams each solver round as it
+// commits (Last-Event-ID resumes like /events).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, _ = strconv.ParseUint(v, 10, 64)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		since, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if fv := r.URL.Query().Get("follow"); fv != "" && fv != "0" {
+		s.tailTrace(w, r, f, since)
+		return
+	}
+	evs := f.TraceSnapshot(since)
+	body := TraceSnapshotBody{
+		Seq:       f.TraceSeq(),
+		Verbosity: f.TraceVerbosity().String(),
+		Traces:    make([]json.RawMessage, 0, len(evs)),
+	}
+	for _, ev := range evs {
+		body.Traces = append(body.Traces, json.RawMessage(ev.Data))
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// tailTrace streams the trace ring over SSE, mirroring handleEvents:
+// gapless backlog then live rounds, heartbeats through proxies, slow
+// consumers cut loose by the ring rather than backpressuring the
+// solver.
+func (s *Server) tailTrace(w http.ResponseWriter, r *http.Request, f *fleet.Fleet, since uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &fleet.Error{Status: http.StatusInternalServerError, Msg: "streaming unsupported"})
+		return
+	}
+	sub, backlog := f.TraceSubscribe(since)
+	defer f.TraceUnsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range backlog {
+		writeTraceSSE(w, ev)
+	}
+	fl.Flush()
+
+	heartbeat := time.NewTicker(heartbeatInterval)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.Ch:
+			if !ok {
+				return // slow consumer cut loose, or the fleet closed
+			}
+			writeTraceSSE(w, ev)
+			for len(sub.Ch) > 0 {
+				if ev, ok = <-sub.Ch; !ok {
+					return
+				}
+				writeTraceSSE(w, ev)
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			w.Write([]byte(": ping\n\n"))
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeTraceSSE(w http.ResponseWriter, ev obs.TraceEvent) {
+	w.Write([]byte("id: " + strconv.FormatUint(ev.Seq, 10) + "\nevent: round\ndata: "))
+	w.Write(ev.Data)
+	w.Write([]byte("\n\n"))
+}
+
+// handleTraceVerbosity retunes one fleet's trace recording level at
+// runtime (POST /v1/fleets/{id}/trace/verbosity, body
+// {"verbosity":"scores"}). Not write-gated: tracing is observability,
+// valid on followers, and never touches replicated state.
+func (s *Server) handleTraceVerbosity(w http.ResponseWriter, r *http.Request) {
+	f, err := s.fleetFor(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var body struct {
+		Verbosity string `json:"verbosity"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&body); err != nil {
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: "decoding body: " + err.Error()})
+		return
+	}
+	v, err := obs.ParseVerbosity(body.Verbosity)
+	if err != nil {
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: err.Error()})
+		return
+	}
+	f.SetTraceVerbosity(v)
+	writeJSON(w, http.StatusOK, map[string]string{"verbosity": v.String()})
+}

@@ -30,6 +30,7 @@ import (
 	"energysched"
 	"energysched/internal/fleet"
 	"energysched/internal/metrics"
+	"energysched/internal/obs"
 	"energysched/internal/replication"
 )
 
@@ -112,6 +113,14 @@ type Config struct {
 	// (default 500ms): pings carry the leader's clock and log head so
 	// idle followers still track lag and virtual time.
 	ReplPing time.Duration
+	// TraceVerbosity is each fleet's decision-trace recording level:
+	// "off" (default), "rounds", "actions" or "scores". Pure
+	// observability — any level leaves scheduling byte-identical.
+	// Fleets inherit it unless their FleetSpec overrides.
+	TraceVerbosity string
+	// TraceDepth is how many round traces each fleet retains for
+	// GET /trace (0 = default 256).
+	TraceDepth int
 	// Logf, when non-nil, receives daemon log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -145,6 +154,10 @@ type Server struct {
 	roleMu    sync.Mutex
 	follower  *replication.Follower // nil once (or when) leading
 	promoting bool
+
+	// httpHists is the per-route request latency aggregation behind
+	// energysched_http_request_seconds.
+	httpHists routeHists
 }
 
 // New builds a daemon: it opens the fleet registry (recovering every
@@ -272,6 +285,8 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 		EventRing:         s.cfg.EventRing,
 		SnapshotInterval:  s.cfg.SnapshotInterval,
 		WALSync:           s.cfg.WALSync,
+		TraceVerbosity:    s.cfg.TraceVerbosity,
+		TraceDepth:        s.cfg.TraceDepth,
 		Logf:              s.cfg.Logf,
 	}
 	if id != DefaultFleet {
@@ -309,11 +324,18 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 	if spec.SnapshotInterval > 0 {
 		fc.SnapshotInterval = spec.SnapshotInterval
 	}
+	if spec.TraceVerbosity != "" {
+		fc.TraceVerbosity = spec.TraceVerbosity
+	}
+	if spec.TraceDepth > 0 {
+		fc.TraceDepth = spec.TraceDepth
+	}
 	return fc
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route table wrapped
+// in the per-route latency middleware feeding /metrics.
+func (s *Server) Handler() http.Handler { return s.withRouteMetrics(s.mux) }
 
 // Close stops replication (if following) and every fleet. In-flight
 // requests receive 503.
@@ -405,6 +427,10 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("POST "+p+"/snapshot", s.handleSnapshot)
 		s.mux.HandleFunc("POST "+p+"/restore", s.handleRestore)
 		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
+		// Decision tracing (PR 8): snapshot/SSE tail plus the runtime
+		// verbosity knob.
+		s.mux.HandleFunc("GET "+p+"/trace", s.handleTrace)
+		s.mux.HandleFunc("POST "+p+"/trace/verbosity", s.handleTraceVerbosity)
 	}
 	// Replication & failover (PR 6).
 	s.mux.HandleFunc("GET /v1/fleets/{fleet}/replicate", s.handleReplicate)
@@ -446,6 +472,12 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, &fleet.Error{Status: http.StatusBadRequest,
 			Msg: fmt.Sprintf("shards must be >= -1, got %d", spec.Shards)})
 		return
+	}
+	if spec.TraceVerbosity != "" {
+		if _, err := obs.ParseVerbosity(spec.TraceVerbosity); err != nil {
+			writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: err.Error()})
+			return
+		}
 	}
 	f, err := s.mgr.Create(spec.ID, s.fleetConfig(spec.ID, spec))
 	if err != nil {
@@ -829,7 +861,10 @@ func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
 // (GET /v1/health). A follower is ready once it has reached the
 // leader and every mirrored fleet is fully caught up.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	h := energysched.HealthStatus{Role: s.Role(), Fleets: s.mgr.Len()}
+	h := energysched.HealthStatus{
+		Role: s.Role(), Fleets: s.mgr.Len(),
+		Version: obs.BuildVersion(), Revision: obs.BuildRevision(),
+	}
 	s.roleMu.Lock()
 	fw := s.follower
 	s.roleMu.Unlock()
@@ -889,8 +924,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Labels: map[string]string{"fleet": id},
 			})
 		}
-		sets = append(sets, lags)
+		sets = append(sets, lags, fw.MetricsSamples())
 	}
+	sets = append(sets, s.httpHists.samples())
 	for _, f := range fleets {
 		samples, err := f.Metrics()
 		if err != nil {
