@@ -19,6 +19,7 @@ import (
 	"energysched/internal/economics"
 	"energysched/internal/experiments"
 	"energysched/internal/metrics"
+	"energysched/internal/obs/series"
 	"energysched/internal/policy"
 	"energysched/internal/power"
 	"energysched/internal/simkit"
@@ -478,4 +479,25 @@ func BenchmarkScenarioChaos2k(b *testing.B) {
 		failures = rep.Failures
 	}
 	b.ReportMetric(float64(failures), "failures")
+}
+
+// The same chaos scenario with the PR 9 accounting collectors armed:
+// per-interval series sampling plus per-VM energy attribution. The
+// delta against BenchmarkScenarioChaos2k is the sampling overhead the
+// observability docs promise stays under 2%.
+func BenchmarkScenarioChaos2kAccounting(b *testing.B) {
+	s := chaos.Scenario10k()
+	s.Name = "2k-1day"
+	s.Nodes = 2000
+	s.Days = 1
+	var samples uint64
+	for i := 0; i < b.N; i++ {
+		store := series.NewStore(0)
+		_, err := s.RunWithObservers(0, false, nil, store.Add)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = store.Count()
+	}
+	b.ReportMetric(float64(samples), "samples")
 }

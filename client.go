@@ -164,6 +164,12 @@ type FleetSpec struct {
 	// TraceDepth > 0 overrides how many round traces the fleet retains
 	// for GET /trace (default 256).
 	TraceDepth int `json:"trace_depth,omitempty"`
+	// SeriesDepth > 0 overrides how many accounting samples the fleet
+	// retains for GET /series (default 4096).
+	SeriesDepth int `json:"series_depth,omitempty"`
+	// JourneyDepth > 0 overrides how many job lifecycle journeys the
+	// fleet retains for GET /jobs/{id}/journey (default 2048).
+	JourneyDepth int `json:"journey_depth,omitempty"`
 }
 
 // WALStats describes a fleet's durable admission log (part of
@@ -271,6 +277,9 @@ type HealthStatus struct {
 	// digits, "+dirty" when the checkout had local modifications);
 	// empty when the build embedded no VCS info.
 	Revision string `json:"revision,omitempty"`
+	// AlertsFiring counts SLO burn-rate alerts currently firing across
+	// every hosted fleet (see GET /v1/alerts).
+	AlertsFiring int `json:"alerts_firing"`
 }
 
 // PromoteInfo is the response of POST /v1/promote: the follower has

@@ -30,6 +30,9 @@
 //	curl -s localhost:7781/v1/fleets/batch/report | jq -r .table
 //	curl -s localhost:7781/v1/cluster | jq .nodes_on
 //	curl -s -N localhost:7781/v1/events
+//	curl -s 'localhost:7781/v1/series?metric=watts&step=3600'
+//	curl -s localhost:7781/v1/jobs/0/journey | jq .steps
+//	curl -s localhost:7781/v1/alerts | jq .firing
 //	curl -s -X POST localhost:7781/v1/snapshot
 package main
 
@@ -53,6 +56,7 @@ import (
 	"energysched/internal/cli"
 	"energysched/internal/fleet"
 	"energysched/internal/obs"
+	"energysched/internal/obs/slo"
 	"energysched/internal/server"
 )
 
@@ -85,6 +89,10 @@ func main() {
 		followPoll = flag.Duration("follow-poll", 0, "in -follow mode, leader fleet-discovery period (0 = default 1s)")
 		traceVerb  = flag.String("trace", "off", "decision-trace recording level per fleet: off, rounds, actions, scores (pure observability; scheduling is byte-identical at any level)")
 		traceDepth = flag.Int("trace-depth", 0, "round traces each fleet retains for GET /trace (0 = default 256)")
+		seriesDep  = flag.Int("series-depth", 0, "accounting samples each fleet retains for GET /series (0 = default 4096)")
+		journeyDep = flag.Int("journey-depth", 0, "job journeys each fleet retains for GET /jobs/{id}/journey (0 = default 2048)")
+		sloFile    = flag.String("slo-file", "", "JSON file of SLO objectives applied to every fleet (burn-rate alerts on GET /v1/alerts)")
+		ssePing    = flag.Duration("sse-ping", 0, "SSE keepalive ping interval for /events, /trace and /journeys streams (0 = default 15s)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060); empty = disabled")
 	)
 	cli.Parse("energyschedd")
@@ -105,6 +113,23 @@ func main() {
 	}
 	if _, err := obs.ParseVerbosity(*traceVerb); err != nil {
 		cli.Usagef("energyschedd", "-trace: %v", err)
+	}
+	if *seriesDep < 0 || *journeyDep < 0 {
+		cli.Usagef("energyschedd", "-series-depth and -journey-depth must be >= 0")
+	}
+	if *ssePing < 0 {
+		cli.Usagef("energyschedd", "-sse-ping must be >= 0")
+	}
+	var objectives []slo.Objective
+	if *sloFile != "" {
+		data, err := os.ReadFile(*sloFile)
+		if err != nil {
+			cli.Fatalf("energyschedd", "-slo-file: %v", err)
+		}
+		objectives, err = slo.Parse(data)
+		if err != nil {
+			cli.Fatalf("energyschedd", "-slo-file %s: %v", *sloFile, err)
+		}
 	}
 	if *follow != "" {
 		if *restore != "" {
@@ -152,6 +177,10 @@ func main() {
 		FollowPoll:        *followPoll,
 		TraceVerbosity:    *traceVerb,
 		TraceDepth:        *traceDepth,
+		SeriesDepth:       *seriesDep,
+		JourneyDepth:      *journeyDep,
+		SLOs:              objectives,
+		SSEHeartbeat:      *ssePing,
 		Logf:              obs.LogfAdapter(cli.Logger().With("component", "server")),
 	})
 	if err != nil {

@@ -7,6 +7,11 @@
 //
 //	loadgen -addr http://localhost:7781 -submitters 8 -pollers 2 -duration 30s
 //	loadgen -addr http://localhost:7781 -fleet batch -duration 10s
+//	loadgen -addr http://localhost:7781 -tailers 2 -json -duration 10s
+//
+// -tailers adds journey-firehose SSE consumers (the daemon's
+// streaming path under load); -json prints the summary as one JSON
+// object for harnesses that threshold the numbers.
 //
 // Submitters allocate strictly increasing virtual submit times from a
 // shared counter, so most jobs admit cleanly; losing the watermark
@@ -16,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,15 +38,17 @@ import (
 )
 
 type config struct {
-	submitters, pollers int
-	duration            time.Duration
+	submitters, pollers, tailers int
+	duration                     time.Duration
 }
 
 // stats aggregates one run: request counters plus client-side latency
-// histograms for the submit and report paths.
+// histograms for the submit and report paths, plus the journey
+// firehose consumption of the tailer workers.
 type stats struct {
 	accepted, conflicts, submitErrs atomic.Int64
 	polls, pollErrs                 atomic.Int64
+	steps, tailErrs                 atomic.Int64
 	submit, poll                    metrics.Histogram
 }
 
@@ -98,6 +106,33 @@ func run(ctx context.Context, client *energysched.Client, cfg config) *stats {
 			}
 		}()
 	}
+	// Tailers consume the journey firehose over SSE while the
+	// submitters generate it — the streaming half of the closed loop.
+	// A broken stream (daemon restart, proxy cut) reconnects from
+	// sequence 0; the counter tracks steps received, not unique steps.
+	for g := 0; g < cfg.tailers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				err := client.JourneyTail(ctx, 0, func(energysched.JourneyEvent) error {
+					st.steps.Add(1)
+					return nil
+				})
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					st.tailErrs.Add(1)
+					select {
+					case <-time.After(200 * time.Millisecond):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	return st
 }
@@ -110,6 +145,60 @@ func (st *stats) render(w io.Writer) {
 	fmt.Fprintf(w, "        %s\n", latencyLine(&st.submit))
 	fmt.Fprintf(w, "report: %d polls, %d errors\n", st.polls.Load(), st.pollErrs.Load())
 	fmt.Fprintf(w, "        %s\n", latencyLine(&st.poll))
+	if st.steps.Load() > 0 || st.tailErrs.Load() > 0 {
+		fmt.Fprintf(w, "tail:   %d journey steps, %d stream errors\n",
+			st.steps.Load(), st.tailErrs.Load())
+	}
+}
+
+// pathJSON is one request path's slice of the -json report.
+type pathJSON struct {
+	Count  int64    `json:"count"`
+	Errors int64    `json:"errors"`
+	P50    *float64 `json:"p50_s,omitempty"`
+	P90    *float64 `json:"p90_s,omitempty"`
+	P99    *float64 `json:"p99_s,omitempty"`
+	Max    *float64 `json:"max_s,omitempty"`
+}
+
+// runJSON is the machine-readable run summary (-json).
+type runJSON struct {
+	Submit    pathJSON `json:"submit"`
+	Conflicts int64    `json:"conflicts"`
+	Report    pathJSON `json:"report"`
+	Steps     int64    `json:"journey_steps"`
+	TailErrs  int64    `json:"tail_errors"`
+}
+
+// renderJSON prints the run summary as one JSON object, for harnesses
+// that diff or threshold the numbers instead of reading them.
+func (st *stats) renderJSON(w io.Writer) error {
+	quantiles := func(h *metrics.Histogram, p *pathJSON) {
+		if h.Count() == 0 {
+			return
+		}
+		for _, q := range []struct {
+			dst **float64
+			q   float64
+		}{{&p.P50, 0.5}, {&p.P90, 0.9}, {&p.P99, 0.99}} {
+			v := h.Quantile(q.q)
+			*q.dst = &v
+		}
+		m := h.Max()
+		p.Max = &m
+	}
+	out := runJSON{
+		Submit:    pathJSON{Count: st.accepted.Load(), Errors: st.submitErrs.Load()},
+		Conflicts: st.conflicts.Load(),
+		Report:    pathJSON{Count: st.polls.Load(), Errors: st.pollErrs.Load()},
+		Steps:     st.steps.Load(),
+		TailErrs:  st.tailErrs.Load(),
+	}
+	quantiles(&st.submit, &out.Submit)
+	quantiles(&st.poll, &out.Report)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // latencyLine renders one histogram's quantiles for humans.
@@ -141,11 +230,13 @@ func main() {
 		fleetID    = flag.String("fleet", "", "target fleet (empty = the default fleet)")
 		submitters = flag.Int("submitters", 4, "concurrent job submitters")
 		pollers    = flag.Int("pollers", 2, "concurrent report pollers")
+		tailers    = flag.Int("tailers", 0, "concurrent journey-firehose SSE consumers")
+		jsonOut    = flag.Bool("json", false, "print the run summary as JSON instead of text")
 		duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
 	)
 	cli.Parse("loadgen")
-	if *submitters < 1 || *pollers < 0 || *duration <= 0 {
-		cli.Usagef("loadgen", "need -submitters >= 1, -pollers >= 0 and a positive -duration")
+	if *submitters < 1 || *pollers < 0 || *tailers < 0 || *duration <= 0 {
+		cli.Usagef("loadgen", "need -submitters >= 1, -pollers >= 0, -tailers >= 0 and a positive -duration")
 	}
 
 	client := energysched.NewClient(*addr)
@@ -161,8 +252,16 @@ func main() {
 
 	cli.Logger().With("component", "loadgen").Info("generating load",
 		"addr", *addr, "submitters", *submitters, "pollers", *pollers, "duration", *duration)
-	st := run(ctx, client, config{submitters: *submitters, pollers: *pollers, duration: *duration})
-	st.render(os.Stdout)
+	st := run(ctx, client, config{
+		submitters: *submitters, pollers: *pollers, tailers: *tailers, duration: *duration,
+	})
+	if *jsonOut {
+		if err := st.renderJSON(os.Stdout); err != nil {
+			cli.Fatalf("loadgen", "encoding summary: %v", err)
+		}
+	} else {
+		st.render(os.Stdout)
+	}
 	if st.submitErrs.Load() > 0 || st.pollErrs.Load() > 0 {
 		os.Exit(1)
 	}

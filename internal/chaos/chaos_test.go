@@ -11,6 +11,7 @@ import (
 	"energysched/internal/chaos"
 	"energysched/internal/fleet"
 	"energysched/internal/obs"
+	"energysched/internal/obs/series"
 	"energysched/internal/workload"
 )
 
@@ -69,6 +70,27 @@ func TestScenario10kByteIdentity(t *testing.T) {
 	}
 	if ring.Seq() == 0 {
 		t.Fatal("scores-verbosity run recorded no traces")
+	}
+
+	// Every collector at once — scores-verbosity tracing, the
+	// accounting sampler, and per-job energy attribution — is still a
+	// write-only side channel: the fully observed sharded run matches
+	// the bare serial run byte for byte while the series store actually
+	// recorded a sample per housekeeping tick.
+	ring2 := obs.NewTraceRing(obs.TraceScores, 4096)
+	store := series.NewStore(0)
+	observed, err := s.RunWithObservers(4, false, ring2, store.Add)
+	if err != nil {
+		t.Fatalf("observed: %v", err)
+	}
+	if observed != serial {
+		t.Fatalf("fully observed run diverged from serial run:\n got %+v\nwant %+v", observed, serial)
+	}
+	if store.Count() == 0 {
+		t.Fatal("observed run recorded no accounting samples")
+	}
+	if smp, ok := store.Latest(); !ok || smp.KWh <= 0 || smp.Completed == 0 {
+		t.Fatalf("accounting samples look empty: %+v", smp)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"energysched/internal/datacenter"
 	"energysched/internal/metrics"
 	"energysched/internal/obs"
+	"energysched/internal/obs/series"
 	"energysched/internal/power"
 	"energysched/internal/simkit"
 	"energysched/internal/workload"
@@ -166,9 +167,22 @@ func (s Scenario) Run(shards int, jittered bool) (metrics.Report, error) {
 // byte-identical to the untraced run at any verbosity — the scale
 // suite asserts exactly that with the sink at TraceScores.
 func (s Scenario) RunWithTrace(shards int, jittered bool, sink obs.TraceSink) (metrics.Report, error) {
+	return s.RunWithObservers(shards, jittered, sink, nil)
+}
+
+// RunWithObservers is Run with every observability collector armed:
+// the decision-trace sink on the solver, the tick-boundary accounting
+// sampler, and per-job energy attribution. All three are write-only
+// side channels, so the report must stay byte-identical to the bare
+// run — the scale suite asserts exactly that at maximum verbosity.
+func (s Scenario) RunWithObservers(shards int, jittered bool, sink obs.TraceSink, sampler func(series.Sample)) (metrics.Report, error) {
 	sim, err := s.sim(shards, sink)
 	if err != nil {
 		return metrics.Report{}, err
+	}
+	if sampler != nil {
+		sim.Sampler = sampler
+		sim.AttributeEnergy = true
 	}
 	s.Plan().Arm(sim)
 	src, err := workload.NewGeneratorSource(s.GeneratorConfig())

@@ -1,0 +1,168 @@
+package datacenter
+
+import (
+	"testing"
+
+	"energysched/internal/obs/series"
+	"energysched/internal/policy"
+	"energysched/internal/vm"
+	"energysched/internal/workload"
+)
+
+func samplingTrace() *workload.Trace {
+	return miniTrace(
+		job(0, 10, 3600, 100, 5, 1.5),
+		job(1, 100, 1800, 200, 10, 1.5),
+		job(2, 7200, 600, 100, 5, 1.5),
+	)
+}
+
+// TestSamplerIsPureObserver is the twin oracle at the simulation
+// layer: a run with the accounting sampler attached, energy
+// attribution on, and SampleAt hammered mid-tick must produce a report
+// byte-identical to the bare run — while actually having recorded one
+// sample per housekeeping tick.
+func TestSamplerIsPureObserver(t *testing.T) {
+	build := func() *Simulation {
+		sim, err := New(Config{
+			Classes: smallClasses(3),
+			Trace:   samplingTrace(),
+			Policy:  policy.NewBackfilling(),
+			Seed:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+
+	bare := build()
+	bareRep, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	observed := build()
+	store := series.NewStore(0)
+	observed.AttributeEnergy = true
+	observed.Sampler = func(smp series.Sample) {
+		store.Add(smp)
+		// Re-sampling mid-tick must read the same state, not advance it.
+		again := observed.SampleAt(smp.T)
+		if again.KWh != smp.KWh || again.Watts != smp.Watts || again.Running != smp.Running {
+			t.Errorf("SampleAt not stable at t=%v: %+v vs %+v", smp.T, again, smp)
+		}
+		// The transition-maintained Running counter must agree with a
+		// brute-force sweep of every VM ever created.
+		var running int
+		for _, v := range observed.VMs() {
+			if v.State == vm.Running || v.State == vm.Migrating {
+				running++
+			}
+		}
+		if running != smp.Running {
+			t.Errorf("running counter %d != swept count %d at t=%v", smp.Running, running, smp.T)
+		}
+	}
+	obsRep, err := observed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if obsRep != bareRep {
+		t.Fatalf("sampled run diverged from bare run:\n got %+v\nwant %+v", obsRep, bareRep)
+	}
+	if store.Count() == 0 {
+		t.Fatal("no samples recorded")
+	}
+
+	// The series itself is coherent: virtual time and cumulative
+	// counters are non-decreasing, and the final sample agrees with
+	// the report's totals.
+	samples := store.Samples(0)
+	for i := 1; i < len(samples); i++ {
+		prev, cur := samples[i-1], samples[i]
+		if cur.T <= prev.T {
+			t.Fatalf("sample %d time went backwards: %v after %v", i, cur.T, prev.T)
+		}
+		if cur.KWh < prev.KWh || cur.Completed < prev.Completed || cur.Migrations < prev.Migrations {
+			t.Fatalf("cumulative counter regressed at %d: %+v after %+v", i, cur, prev)
+		}
+	}
+	// The run ends at the last completion, which lands between ticks —
+	// the final sample may trail the report by the jobs that finished
+	// after it, but can never lead it.
+	last := samples[len(samples)-1]
+	if last.Completed > bareRep.JobsCompleted || last.Completed == 0 {
+		t.Fatalf("final sample completed = %d, report = %d", last.Completed, bareRep.JobsCompleted)
+	}
+	if last.KWh <= 0 || last.KWh > bareRep.EnergyKWh {
+		t.Fatalf("final sample kwh = %v, report total = %v", last.KWh, bareRep.EnergyKWh)
+	}
+	// Per-class slices partition the fleet totals.
+	var classKWh float64
+	var classOn, classOff int
+	for _, c := range last.Classes {
+		classKWh += c.KWh
+		classOn += c.On
+		classOff += c.Off
+	}
+	if classOn != last.On || classOff != last.Off {
+		t.Fatalf("class node counts %d/%d do not partition fleet %d/%d",
+			classOn, classOff, last.On, last.Off)
+	}
+	if diff := classKWh - last.KWh; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("class kwh sum %v != fleet kwh %v", classKWh, last.KWh)
+	}
+}
+
+// TestEnergyAttributionSplitsNodeEnergy: with AttributeEnergy set each
+// completed VM carries a positive attributed energy, the attributed
+// total never exceeds the fleet's metered energy (idle draw and boots
+// stay unattributed), and the report is byte-identical to the
+// unattributed run.
+func TestEnergyAttributionSplitsNodeEnergy(t *testing.T) {
+	build := func(attr bool) (*Simulation, func() error) {
+		sim, err := New(Config{
+			Classes: smallClasses(3),
+			Trace:   samplingTrace(),
+			Policy:  policy.NewBackfilling(),
+			Seed:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.AttributeEnergy = attr
+		return sim, nil
+	}
+
+	plain, _ := build(false)
+	plainRep, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range plain.VMs() {
+		if v.EnergyKWh != 0 {
+			t.Fatalf("attribution off but vm %d has %v kWh", v.ID, v.EnergyKWh)
+		}
+	}
+
+	attr, _ := build(true)
+	attrRep, err := attr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrRep != plainRep {
+		t.Fatalf("attribution changed the report:\n got %+v\nwant %+v", attrRep, plainRep)
+	}
+	var sum float64
+	for _, v := range attr.VMs() {
+		if v.EnergyKWh <= 0 {
+			t.Fatalf("vm %d completed with no attributed energy", v.ID)
+		}
+		sum += v.EnergyKWh
+	}
+	if sum <= 0 || sum > attrRep.EnergyKWh {
+		t.Fatalf("attributed %v kWh of %v total", sum, attrRep.EnergyKWh)
+	}
+}

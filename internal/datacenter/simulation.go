@@ -9,6 +9,7 @@ import (
 	"energysched/internal/cluster"
 	"energysched/internal/core"
 	"energysched/internal/metrics"
+	"energysched/internal/obs/series"
 	"energysched/internal/policy"
 	"energysched/internal/power"
 	"energysched/internal/simkit"
@@ -71,6 +72,7 @@ type Simulation struct {
 	migrations  int
 	failCount   int
 	completed   int
+	active      int // VMs currently Running or Migrating, maintained on state transitions
 	roundActive bool
 	started     bool
 	sealed      bool
@@ -91,6 +93,21 @@ type Simulation struct {
 	// PowerTrace, when non-nil, receives (time, totalWatts) samples
 	// at every power change (used by the validation experiment).
 	PowerTrace func(t, watts float64)
+
+	// Sampler, when non-nil, receives one accounting sample at every
+	// housekeeping tick (see SampleAt). Samples are pure reads of the
+	// simulation's virtual-time state, so attaching a sampler never
+	// alters the trajectory — the same observer contract PowerTrace
+	// keeps.
+	Sampler func(smp series.Sample)
+
+	// AttributeEnergy, when set, splits each node's energy across its
+	// hosted VMs in proportion to their allocations as progress
+	// accrues, into the write-only vm.VM.EnergyKWh field. Nothing in
+	// the scheduling path reads it back, and no existing accumulator's
+	// float operations change, so enabling it leaves reports
+	// byte-identical.
+	AttributeEnergy bool
 }
 
 // New builds a simulation from the configuration.
@@ -418,10 +435,29 @@ func (s *Simulation) accrue(rt *nodeRT, t float64, commit bool, acc float64) flo
 	// migrating-in VM runs on the source for now); share the one
 	// definition so the two can never drift apart.
 	buf := s.appendOwners(rt, s.accScratch[:0])
+	// Energy attribution: the meter still holds the draw that applied
+	// over [lastAdvance, t] (recomputeNode observes the new level only
+	// after advancing), so the interval's energy splits across the
+	// owners by allocation share. This is a pure addition on top of
+	// the existing terms — Progress and acc see the same operations in
+	// the same order whether attribution is on or off.
+	var share float64
+	if commit && s.AttributeEnergy && len(buf) > 0 {
+		var sumAlloc float64
+		for _, v := range buf {
+			sumAlloc += v.Alloc
+		}
+		if sumAlloc > 0 {
+			share = rt.meter.CurrentWatts() * dt / 3.6e6 / sumAlloc
+		}
+	}
 	for _, v := range buf {
 		term := v.Alloc * rt.eff * dt
 		if commit {
 			v.Progress += term
+			if share > 0 {
+				v.EnergyKWh += share * v.Alloc
+			}
 		}
 		acc += term
 	}
@@ -632,6 +668,7 @@ func (s *Simulation) onCompletion(v *vm.VM) {
 		}
 	}
 	rt.node.RemoveVM(v)
+	s.active--
 	v.State = vm.Completed
 	v.Finish = s.eng.Now()
 	v.Alloc = 0
@@ -662,6 +699,12 @@ func (s *Simulation) tick() {
 		s.adaptive.Tick(s.eng.Now())
 	}
 	s.round()
+	if s.Sampler != nil {
+		// Sample after the round so the observation reflects the
+		// tick's power-management and placement decisions. SampleAt is
+		// pure, so the sampler sees — never steers — the trajectory.
+		s.Sampler(s.SampleAt(s.eng.Now()))
+	}
 	if !s.done {
 		s.eng.After(s.cfg.TickInterval, s.tick)
 	}

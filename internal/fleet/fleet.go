@@ -30,6 +30,8 @@ import (
 	"energysched/internal/datacenter"
 	"energysched/internal/metrics"
 	"energysched/internal/obs"
+	"energysched/internal/obs/series"
+	"energysched/internal/obs/slo"
 	"energysched/internal/workload"
 )
 
@@ -91,6 +93,18 @@ type Config struct {
 	// TraceDepth is how many round traces the ring retains (default
 	// 256).
 	TraceDepth int
+	// SeriesDepth is how many accounting samples the time-series ring
+	// retains (default 4096). Like the trace ring this is pure
+	// observability: any depth leaves the simulation byte-identical.
+	SeriesDepth int
+	// JourneyDepth is how many jobs the lifecycle journey store retains
+	// (default 2048); the journey firehose ring holds the same number
+	// of recent steps.
+	JourneyDepth int
+	// SLOs are declarative service-level objectives evaluated against
+	// the accounting series at every tick (nil = no SLO engine). Must
+	// be pre-validated (slo.Parse does).
+	SLOs []slo.Objective
 	// Logf, when non-nil, receives fleet log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -167,12 +181,15 @@ var ErrClosed = errors.New("fleet: shut down")
 // Fleet is one hosted scheduler instance: a simulation behind an
 // actor event loop, plus its event broker and durability layer.
 type Fleet struct {
-	id     string
-	cfg    Config
-	broker *Broker
-	repl   *replFeed
-	ring   *obs.TraceRing
-	hists  fleetHists
+	id       string
+	cfg      Config
+	broker   *Broker
+	repl     *replFeed
+	ring     *obs.TraceRing
+	hists    fleetHists
+	series   *series.Store
+	journeys *obs.JourneyStore
+	sloEng   *slo.Engine // nil without objectives
 
 	cmds     chan func()
 	stopc    chan struct{}
@@ -206,14 +223,19 @@ func Open(id string, cfg Config) (*Fleet, error) {
 		verb = v
 	}
 	f := &Fleet{
-		id:     id,
-		cfg:    cfg.withDefaults(),
-		cmds:   make(chan func()),
-		stopc:  make(chan struct{}),
-		broker: newBroker(cfg.EventRing),
-		repl:   newReplFeed(),
-		ring:   obs.NewTraceRing(verb, cfg.TraceDepth),
-		gen:    1,
+		id:       id,
+		cfg:      cfg.withDefaults(),
+		cmds:     make(chan func()),
+		stopc:    make(chan struct{}),
+		broker:   newBroker(cfg.EventRing),
+		repl:     newReplFeed(),
+		ring:     obs.NewTraceRing(verb, cfg.TraceDepth),
+		series:   series.NewStore(cfg.SeriesDepth),
+		journeys: obs.NewJourneyStore(cfg.JourneyDepth, cfg.JourneyDepth),
+		gen:      1,
+	}
+	if len(cfg.SLOs) > 0 {
+		f.sloEng = slo.NewEngine(cfg.SLOs)
 	}
 	f.broker.hist = &f.hists.sse
 	jobs, now, sealed, err := f.recover()
@@ -338,6 +360,7 @@ func (f *Fleet) Close() {
 	f.broker.close()
 	f.repl.close()
 	f.ring.Close()
+	f.journeys.Close()
 	f.wal.close()
 }
 
@@ -407,6 +430,10 @@ func (f *Fleet) advanceRealtime() {
 // given admission log up to virtual time now. With sealed, the replay
 // is drained to completion. On error the previous state is kept.
 func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
+	// sim is captured by the journey recorder below before it is built:
+	// the closure only runs behind !f.replaying, which stays set until
+	// after the assignment, so it never sees a nil simulation.
+	var sim *datacenter.Simulation
 	opts := energysched.Options{
 		Policy:            f.cfg.Policy,
 		LambdaMin:         f.cfg.LambdaMin,
@@ -419,9 +446,11 @@ func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
 		Shards:            f.cfg.Shards,
 		Classes:           f.cfg.Classes,
 		EventLog: func(e energysched.Event) {
-			if !f.replaying {
-				f.broker.publish(e)
+			if f.replaying {
+				return
 			}
+			f.broker.publish(e)
+			f.recordJourney(sim, e)
 		},
 		RoundTimer: func(seconds float64) {
 			if !f.replaying {
@@ -429,7 +458,8 @@ func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
 			}
 		},
 	}
-	sim, err := energysched.NewSimulation(opts)
+	var err error
+	sim, err = energysched.NewSimulation(opts)
 	if err != nil {
 		return err
 	}
@@ -438,6 +468,26 @@ func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
 	// by the sink itself while f.replaying is set.
 	if sch, ok := sim.Policy().(*core.Scheduler); ok {
 		sch.Tracer = &fleetTraceSink{f: f, ring: f.ring}
+	}
+	// Accounting taps. Energy attribution stays on even during replay —
+	// it is a pure addition the engine computes identically everywhere,
+	// and a rebuilt simulation's fresh VMs must re-accumulate their
+	// energy or a recovered fleet would under-report it. Sampling IS
+	// suppressed while replaying: samples are cumulative observations
+	// the store already holds (or deliberately dropped), and re-adding
+	// them would double-count the replayed span in the series and burn
+	// the SLO windows twice.
+	sim.AttributeEnergy = true
+	sim.Sampler = func(smp series.Sample) {
+		if f.replaying {
+			return
+		}
+		f.series.Add(smp)
+		if f.sloEng != nil {
+			f.sloEng.Observe(smp.T, func(metric string) (float64, bool) {
+				return f.sloValue(smp, metric)
+			})
+		}
 	}
 	f.replaying = true
 	defer func() { f.replaying = false }()
@@ -1127,6 +1177,7 @@ func (f *Fleet) gatherMetrics() []metrics.PromSample {
 		Name: "energysched_trace_rounds_total", Help: "Solver round traces recorded in the trace ring.",
 		Kind: metrics.PromCounter, Value: float64(f.ring.Seq()),
 	})
+	samples = f.accountingSamples(samples)
 	samples = f.hists.samples(samples)
 	return samples
 }

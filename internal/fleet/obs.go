@@ -52,10 +52,13 @@ func (h *fleetHists) samples(in []metrics.PromSample) []metrics.PromSample {
 }
 
 // fleetTraceSink is the obs.TraceSink the fleet installs on its
-// scheduler: the fleet's trace ring, with replayed rounds (crash
-// recovery, restore, replication bootstrap) suppressed — they re-run
-// old decisions, and tracing them would splice stale history into the
-// ring.
+// scheduler. It feeds two consumers: the fleet's trace ring (at the
+// ring's configured verbosity) and the journey store, which stages
+// every round's applied actions so placed/migrate journey steps carry
+// their why-scores regardless of the ring's level. Replayed rounds
+// (crash recovery, restore, replication bootstrap) are suppressed
+// entirely — they re-run old decisions, and recording them would
+// splice stale history into the ring and duplicate journey whys.
 //
 // Verbosity and Emit are only called by the solver, which runs on the
 // fleet's event loop — the same goroutine that flips f.replaying — so
@@ -65,16 +68,34 @@ type fleetTraceSink struct {
 	ring *obs.TraceRing
 }
 
-// Verbosity implements obs.TraceSink.
+// Verbosity implements obs.TraceSink. The journey store needs the
+// per-action records, so the effective level is at least TraceActions
+// even when the ring records less; Emit strips what the ring did not
+// ask for.
 func (s *fleetTraceSink) Verbosity() obs.Verbosity {
 	if s.f.replaying {
 		return obs.TraceOff
 	}
-	return s.ring.Verbosity()
+	if v := s.ring.Verbosity(); v > obs.TraceActions {
+		return v
+	}
+	return obs.TraceActions
 }
 
-// Emit implements obs.TraceSink.
-func (s *fleetTraceSink) Emit(rt obs.RoundTrace) { s.ring.Emit(rt) }
+// Emit implements obs.TraceSink: stage the round's actions for the
+// journey store, then forward the trace to the ring at the ring's own
+// verbosity (dropping it entirely at off, stripping the action records
+// at rounds).
+func (s *fleetTraceSink) Emit(rt obs.RoundTrace) {
+	s.f.journeys.StageActions(rt.Actions)
+	switch v := s.ring.Verbosity(); {
+	case v == obs.TraceOff:
+		return
+	case v < obs.TraceActions:
+		rt.Actions = nil
+	}
+	s.ring.Emit(rt)
+}
 
 // TraceSeq returns the sequence number of the fleet's most recent
 // trace.

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramSamplesInfBucketExplicit pins the exposition contract
+// consumers lean on: the bucket lines of every rendered histogram —
+// empty or not — end with an explicit le="+Inf" bucket whose value
+// equals _count, so PromQL's histogram_quantile never sees a family
+// with a missing terminal bucket.
+func TestHistogramSamplesInfBucketExplicit(t *testing.T) {
+	cases := map[string]func(h *Histogram){
+		"empty":    func(h *Histogram) {},
+		"one":      func(h *Histogram) { h.Observe(0.5) },
+		"overflow": func(h *Histogram) { h.Observe(1e9) }, // beyond the last finite bound
+	}
+	for name, fill := range cases {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			fill(&h)
+			samples := HistogramSamples("es_x_seconds", "x", nil, &h)
+			var lastBucket *PromSample
+			var count float64
+			for i := range samples {
+				switch samples[i].Suffix {
+				case "_bucket":
+					lastBucket = &samples[i]
+				case "_count":
+					count = samples[i].Value
+				}
+			}
+			if lastBucket == nil {
+				t.Fatal("no bucket lines rendered")
+			}
+			if le := lastBucket.Labels["le"]; le != "+Inf" {
+				t.Fatalf("final bucket le = %q, want +Inf", le)
+			}
+			if lastBucket.Value != count {
+				t.Fatalf("+Inf bucket = %v, _count = %v; must be equal", lastBucket.Value, count)
+			}
+			if count != float64(h.Count()) {
+				t.Fatalf("_count = %v, Histogram.Count() = %d", count, h.Count())
+			}
+		})
+	}
+}
+
+// TestHistogramMergeIntoEmpty: folding observations into a zero-value
+// histogram reproduces the source exactly — the merge path the metrics
+// endpoint uses when a fresh scrape-side aggregate absorbs its first
+// fleet.
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var src Histogram
+	for i := 0; i < 100; i++ {
+		src.Observe(float64(i+1) * 1e-3)
+	}
+	var dst Histogram
+	dst.Merge(&src)
+	a, b := dst.Snapshot(), src.Snapshot()
+	if a.Count != b.Count || a.Max != b.Max || math.Abs(a.Sum-b.Sum) > 1e-9 {
+		t.Fatalf("merge into empty diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, a.Counts[i], b.Counts[i])
+		}
+	}
+
+	// Empty absorbing empty stays empty and quantiles stay defined.
+	var e1, e2 Histogram
+	e1.Merge(&e2)
+	if e1.Count() != 0 {
+		t.Fatalf("empty+empty count = %d", e1.Count())
+	}
+	if q := e1.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Job journey audit spans: one bounded, append-only lifecycle record
+// per job — submitted → placed@node (with the solver's why-scores) →
+// each migration → completed/violated — with simulated timestamps and
+// attributed energy. Like the trace ring this is a write-only
+// wall-clock side channel: the fleet's event loop records steps as the
+// simulation emits lifecycle events, nothing in the scheduling path
+// reads a journey back, and replayed rounds (crash recovery, restore,
+// replication bootstrap) are suppressed by the caller so a record is
+// never duplicated.
+
+// Journey step kinds, in lifecycle order.
+const (
+	StepSubmitted = "submitted"
+	StepPlaced    = "placed"
+	StepRunning   = "running"
+	StepMigrate   = "migrate"
+	StepMigrated  = "migrated"
+	StepRequeued  = "requeued"
+	StepCompleted = "completed"
+	StepViolated  = "violated"
+)
+
+// JourneyStep is one lifecycle transition of a job, stamped with the
+// simulation's virtual time.
+type JourneyStep struct {
+	// T is the virtual time of the transition, in seconds.
+	T float64 `json:"t"`
+	// Kind is one of the Step* constants.
+	Kind string `json:"kind"`
+	// Node is the node involved (-1 when the step is not node-bound:
+	// submitted, requeued after a failure).
+	Node int `json:"node"`
+	// Dest is the migration destination (-1 otherwise).
+	Dest int `json:"dest"`
+	// Why is the solver's score comparison that caused a placed or
+	// migrate step, when decision tracing supplied one.
+	Why *ActionTrace `json:"why,omitempty"`
+	// Satisfaction is the SLA satisfaction percentage, terminal steps
+	// only.
+	Satisfaction float64 `json:"satisfaction_pct,omitempty"`
+	// EnergyKWh is the energy attributed to the job so far, terminal
+	// steps only.
+	EnergyKWh float64 `json:"energy_kwh,omitempty"`
+}
+
+// Journey is one job's recorded lifecycle.
+type Journey struct {
+	Job   int           `json:"job"`
+	Steps []JourneyStep `json:"steps"`
+	// Truncated reports that the per-job step cap was hit and later
+	// steps were dropped from the record (the firehose still carried
+	// them live).
+	Truncated bool `json:"truncated,omitempty"`
+	// Outcome is "" while in flight, then "completed" or "violated".
+	Outcome string `json:"outcome,omitempty"`
+	// EnergyKWh is the host energy attributed to the job.
+	EnergyKWh float64 `json:"energy_kwh"`
+	// Satisfaction is the SLA satisfaction percentage after completion.
+	Satisfaction float64 `json:"satisfaction_pct,omitempty"`
+}
+
+// JourneySummary is the steps-free form served by the journeys index.
+type JourneySummary struct {
+	Job          int     `json:"job"`
+	Steps        int     `json:"steps"`
+	Truncated    bool    `json:"truncated,omitempty"`
+	Outcome      string  `json:"outcome,omitempty"`
+	EnergyKWh    float64 `json:"energy_kwh"`
+	Satisfaction float64 `json:"satisfaction_pct,omitempty"`
+}
+
+// journeyStepCap bounds one job's record: a job that requeues or
+// migrates more often than this keeps its live firehose stream but the
+// stored record marks itself Truncated instead of growing without
+// bound.
+const journeyStepCap = 64
+
+// journeyWire is one firehose event: a step flattened with its ring
+// sequence number and job ID.
+type journeyWire struct {
+	Seq uint64 `json:"seq"`
+	Job int    `json:"job"`
+	JourneyStep
+}
+
+// JourneyStore holds the bounded per-job journey records of one fleet
+// plus the SSE firehose ring. Writes come from the fleet's event loop;
+// reads from HTTP handlers. Memory is bounded by maxJobs × the step
+// cap (FIFO eviction by first-step order) and the firehose ring depth.
+type JourneyStore struct {
+	mu      sync.Mutex
+	maxJobs int
+	jobs    map[int]*Journey
+	order   []int // first-step order, for FIFO eviction
+	pending map[int][]ActionTrace
+	fire    *Ring
+}
+
+// NewJourneyStore builds a store retaining the last maxJobs job
+// records (default 2048 when <= 0); the firehose ring holds fireDepth
+// step events (default 256).
+func NewJourneyStore(maxJobs, fireDepth int) *JourneyStore {
+	if maxJobs <= 0 {
+		maxJobs = 2048
+	}
+	return &JourneyStore{
+		maxJobs: maxJobs,
+		jobs:    make(map[int]*Journey),
+		pending: make(map[int][]ActionTrace),
+		fire:    NewRing(fireDepth),
+	}
+}
+
+// StageActions replaces the staged why-scores with one round's applied
+// actions. The solver emits its round trace before the harness applies
+// the plan, so the fleet stages the actions here and the subsequent
+// placed/migrate steps consume them in order.
+func (s *JourneyStore) StageActions(acts []ActionTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.pending)
+	for _, a := range acts {
+		s.pending[a.VM] = append(s.pending[a.VM], a)
+	}
+}
+
+// Record appends one step to the job's journey, creating the record on
+// first sight (evicting the oldest job once maxJobs is reached) and
+// attaching a staged why-score to placed/migrate steps. Every step is
+// also emitted on the firehose, even past the per-job step cap.
+func (s *JourneyStore) Record(job int, st JourneyStep) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[job]
+	if j == nil {
+		if len(s.order) >= s.maxJobs {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.jobs, oldest)
+		}
+		j = &Journey{Job: job}
+		s.jobs[job] = j
+		s.order = append(s.order, job)
+	}
+	if st.Kind == StepPlaced || st.Kind == StepMigrate {
+		if q := s.pending[job]; len(q) > 0 {
+			why := q[0]
+			if len(q) == 1 {
+				delete(s.pending, job)
+			} else {
+				s.pending[job] = q[1:]
+			}
+			st.Why = &why
+		}
+	}
+	if len(j.Steps) >= journeyStepCap {
+		j.Truncated = true
+	} else {
+		j.Steps = append(j.Steps, st)
+	}
+	if st.Kind == StepCompleted || st.Kind == StepViolated {
+		j.Outcome = st.Kind
+		j.Satisfaction = st.Satisfaction
+		j.EnergyKWh = st.EnergyKWh
+	}
+	s.fire.Emit(func(seq uint64) []byte {
+		data, err := json.Marshal(journeyWire{Seq: seq, Job: job, JourneyStep: st})
+		if err != nil {
+			return nil // plain structs; cannot happen
+		}
+		return data
+	})
+}
+
+// Get returns a deep copy of the job's journey.
+func (s *JourneyStore) Get(job int) (Journey, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[job]
+	if !ok {
+		return Journey{}, false
+	}
+	out := *j
+	out.Steps = append([]JourneyStep(nil), j.Steps...)
+	return out, true
+}
+
+// Summaries returns the retained journeys, oldest first, without their
+// steps.
+func (s *JourneyStore) Summaries() []JourneySummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JourneySummary, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		out = append(out, JourneySummary{
+			Job: j.Job, Steps: len(j.Steps), Truncated: j.Truncated,
+			Outcome: j.Outcome, EnergyKWh: j.EnergyKWh, Satisfaction: j.Satisfaction,
+		})
+	}
+	return out
+}
+
+// Len returns the number of retained job records.
+func (s *JourneyStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Seq returns the firehose's most recent sequence number.
+func (s *JourneyStore) Seq() uint64 { return s.fire.Seq() }
+
+// Snapshot returns retained firehose events with seq > since.
+func (s *JourneyStore) Snapshot(since uint64) []RingEvent { return s.fire.Snapshot(since) }
+
+// Subscribe attaches a firehose tail consumer (gapless with the
+// returned backlog).
+func (s *JourneyStore) Subscribe(since uint64) (*RingSub, []RingEvent) {
+	return s.fire.Subscribe(since)
+}
+
+// Unsubscribe detaches a firehose consumer.
+func (s *JourneyStore) Unsubscribe(sub *RingSub) { s.fire.Unsubscribe(sub) }
+
+// Close disconnects firehose subscribers.
+func (s *JourneyStore) Close() { s.fire.Close() }

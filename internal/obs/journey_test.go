@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJourneyRecordAndGet(t *testing.T) {
+	s := NewJourneyStore(8, 16)
+	defer s.Close()
+	s.Record(3, JourneyStep{T: 0, Kind: StepSubmitted, Node: -1, Dest: -1})
+	s.Record(3, JourneyStep{T: 15, Kind: StepPlaced, Node: 2, Dest: -1})
+	s.Record(3, JourneyStep{T: 3615, Kind: StepCompleted, Node: 2, Dest: -1,
+		Satisfaction: 100, EnergyKWh: 0.25})
+
+	j, ok := s.Get(3)
+	if !ok {
+		t.Fatal("journey not recorded")
+	}
+	if len(j.Steps) != 3 || j.Steps[0].Kind != StepSubmitted || j.Steps[2].Kind != StepCompleted {
+		t.Fatalf("steps = %+v", j.Steps)
+	}
+	if j.Outcome != StepCompleted || j.EnergyKWh != 0.25 || j.Satisfaction != 100 {
+		t.Fatalf("terminal summary = %+v", j)
+	}
+	if _, ok := s.Get(99); ok {
+		t.Fatal("unknown job resolved")
+	}
+
+	// Get returns a copy: mutating it must not reach the store.
+	j.Steps[0].Kind = "tampered"
+	if j2, _ := s.Get(3); j2.Steps[0].Kind != StepSubmitted {
+		t.Fatal("Get leaked internal step slice")
+	}
+}
+
+func TestJourneyFIFOEviction(t *testing.T) {
+	s := NewJourneyStore(3, 8)
+	defer s.Close()
+	for job := 0; job < 5; job++ {
+		s.Record(job, JourneyStep{Kind: StepSubmitted, Node: -1, Dest: -1})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want the cap 3", s.Len())
+	}
+	for _, evicted := range []int{0, 1} {
+		if _, ok := s.Get(evicted); ok {
+			t.Fatalf("job %d survived past the cap", evicted)
+		}
+	}
+	sums := s.Summaries()
+	if len(sums) != 3 || sums[0].Job != 2 || sums[2].Job != 4 {
+		t.Fatalf("summaries = %+v, want jobs 2..4 oldest first", sums)
+	}
+}
+
+func TestJourneyStepCapTruncates(t *testing.T) {
+	s := NewJourneyStore(4, 8)
+	defer s.Close()
+	for i := 0; i < journeyStepCap+10; i++ {
+		s.Record(1, JourneyStep{T: float64(i), Kind: StepRequeued, Node: -1, Dest: -1})
+	}
+	j, _ := s.Get(1)
+	if len(j.Steps) != journeyStepCap {
+		t.Fatalf("stored %d steps, want the cap %d", len(j.Steps), journeyStepCap)
+	}
+	if !j.Truncated {
+		t.Fatal("over-cap journey not marked truncated")
+	}
+	// A terminal step past the cap still lands in the summary fields.
+	s.Record(1, JourneyStep{T: 9999, Kind: StepViolated, Node: 0, Dest: -1,
+		Satisfaction: 40, EnergyKWh: 1.5})
+	j, _ = s.Get(1)
+	if j.Outcome != StepViolated || j.Satisfaction != 40 || j.EnergyKWh != 1.5 {
+		t.Fatalf("terminal step past cap lost: %+v", j)
+	}
+}
+
+// TestJourneyStagedWhyScores: actions staged from a round trace attach
+// to the next placed/migrate steps of the matching jobs, in FIFO order
+// per job, and never to other step kinds.
+func TestJourneyStagedWhyScores(t *testing.T) {
+	s := NewJourneyStore(8, 8)
+	defer s.Close()
+	s.StageActions([]ActionTrace{
+		{Kind: "place", VM: 1, From: -1, To: 4, Gain: -2.5},
+		{Kind: "migrate", VM: 1, From: 4, To: 7, Gain: -1.0},
+		{Kind: "place", VM: 2, From: -1, To: 5, Gain: -3.0},
+	})
+	s.Record(1, JourneyStep{Kind: StepSubmitted, Node: -1, Dest: -1})
+	s.Record(1, JourneyStep{Kind: StepPlaced, Node: 4, Dest: -1})
+	s.Record(1, JourneyStep{Kind: StepMigrate, Node: 4, Dest: 7})
+	s.Record(2, JourneyStep{Kind: StepPlaced, Node: 5, Dest: -1})
+
+	j1, _ := s.Get(1)
+	if j1.Steps[0].Why != nil {
+		t.Fatal("submitted step got a why-score")
+	}
+	if w := j1.Steps[1].Why; w == nil || w.To != 4 || w.Gain != -2.5 {
+		t.Fatalf("placed why = %+v", j1.Steps[1].Why)
+	}
+	if w := j1.Steps[2].Why; w == nil || w.Kind != "migrate" || w.To != 7 {
+		t.Fatalf("migrate why = %+v", j1.Steps[2].Why)
+	}
+	j2, _ := s.Get(2)
+	if w := j2.Steps[0].Why; w == nil || w.To != 5 {
+		t.Fatalf("job 2 why = %+v", w)
+	}
+
+	// A new round's staging replaces leftovers entirely.
+	s.StageActions(nil)
+	s.Record(1, JourneyStep{Kind: StepMigrate, Node: 7, Dest: 9})
+	j1, _ = s.Get(1)
+	if j1.Steps[3].Why != nil {
+		t.Fatal("stale staged action survived a new round")
+	}
+}
+
+// TestJourneyFirehose: every recorded step is emitted on the firehose
+// with ascending sequence numbers and the flattened wire shape, and
+// Snapshot(since) resumes without gaps or duplicates.
+func TestJourneyFirehose(t *testing.T) {
+	s := NewJourneyStore(4, 16)
+	defer s.Close()
+	sub, backlog := s.Subscribe(0)
+	defer s.Unsubscribe(sub)
+	if len(backlog) != 0 {
+		t.Fatalf("fresh store has backlog of %d", len(backlog))
+	}
+	s.Record(7, JourneyStep{T: 1, Kind: StepSubmitted, Node: -1, Dest: -1})
+	s.Record(7, JourneyStep{T: 2, Kind: StepPlaced, Node: 3, Dest: -1})
+
+	for i, wantKind := range []string{StepSubmitted, StepPlaced} {
+		ev := <-sub.Ch
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d", i, ev.Seq)
+		}
+		var wire struct {
+			Seq  uint64 `json:"seq"`
+			Job  int    `json:"job"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(ev.Data, &wire); err != nil {
+			t.Fatalf("firehose payload: %v", err)
+		}
+		if wire.Job != 7 || wire.Kind != wantKind || wire.Seq != ev.Seq {
+			t.Fatalf("wire = %+v, want job 7 kind %s", wire, wantKind)
+		}
+	}
+
+	if evs := s.Snapshot(1); len(evs) != 1 || evs[0].Seq != 2 {
+		t.Fatalf("Snapshot(1) = %d events", len(evs))
+	}
+	if s.Seq() != 2 {
+		t.Fatalf("Seq = %d", s.Seq())
+	}
+}

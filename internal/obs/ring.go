@@ -1,0 +1,152 @@
+package obs
+
+import "sync"
+
+// RingEvent is one ring entry: the sequence number and a pre-marshaled
+// JSON payload, ready for the API to serve without re-encoding.
+type RingEvent struct {
+	Seq  uint64
+	Data []byte
+}
+
+// ringSubBuffer is each tail subscriber's channel depth; a consumer
+// lagging further is disconnected, mirroring the event broker's
+// slow-consumer contract.
+const ringSubBuffer = 64
+
+// RingSub is one SSE tail consumer's view of a ring's stream. Ch is
+// closed when the consumer falls too far behind or the ring closes.
+type RingSub struct {
+	Ch chan RingEvent
+}
+
+// Ring is a bounded ring of pre-marshaled events with SSE-style tail
+// subscriptions: the generic mechanics behind the per-fleet decision
+// log (TraceRing) and the job-journey firehose. Emit assigns monotone
+// sequence numbers, stores the payload and fans out; tail consumers
+// that cannot keep up are cut loose so a slow reader never
+// backpressures the event loop. Safe for one writer and any number of
+// concurrent readers.
+type Ring struct {
+	mu      sync.Mutex
+	closed  bool
+	nextSeq uint64
+	ring    []RingEvent // circular; oldest entry at head once full
+	head    int
+	ringCap int
+	subs    map[*RingSub]struct{}
+}
+
+// NewRing builds a ring holding the last depth events (default 256
+// when depth <= 0).
+func NewRing(depth int) *Ring {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &Ring{ringCap: depth, subs: make(map[*RingSub]struct{})}
+}
+
+// Emit assigns the next sequence number, calls build with it to
+// produce the payload (so the payload can embed its own seq), stores
+// the event and forwards it to every live subscriber. A nil payload
+// aborts the emission and returns the sequence counter to its prior
+// value. Returns the assigned sequence number, 0 when nothing was
+// emitted.
+func (r *Ring) Emit(build func(seq uint64) []byte) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0
+	}
+	r.nextSeq++
+	data := build(r.nextSeq)
+	if data == nil {
+		r.nextSeq--
+		return 0
+	}
+	ev := RingEvent{Seq: r.nextSeq, Data: data}
+	if len(r.ring) < r.ringCap {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.head] = ev
+		r.head = (r.head + 1) % r.ringCap
+	}
+	for sub := range r.subs {
+		select {
+		case sub.Ch <- ev:
+		default:
+			// Slow tail consumer: cut it loose so observability never
+			// backpressures the writer.
+			delete(r.subs, sub)
+			close(sub.Ch)
+		}
+	}
+	return ev.Seq
+}
+
+// Seq returns the sequence number of the most recent event.
+func (r *Ring) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextSeq
+}
+
+// Snapshot returns the retained events with sequence number > since,
+// oldest first.
+func (r *Ring) Snapshot(since uint64) []RingEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.backlogLocked(since)
+}
+
+func (r *Ring) backlogLocked(since uint64) []RingEvent {
+	var out []RingEvent
+	for i := 0; i < len(r.ring); i++ {
+		ev := r.ring[(r.head+i)%len(r.ring)] // oldest first
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a tail consumer and returns it along with the
+// backlog of retained events with sequence number > since. Registering
+// and snapshotting under one lock makes the hand-off gapless.
+func (r *Ring) Subscribe(since uint64) (*RingSub, []RingEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	backlog := r.backlogLocked(since)
+	sub := &RingSub{Ch: make(chan RingEvent, ringSubBuffer)}
+	if r.closed {
+		close(sub.Ch)
+		return sub, backlog
+	}
+	r.subs[sub] = struct{}{}
+	return sub, backlog
+}
+
+// Unsubscribe removes the subscriber; safe after a slow-consumer
+// disconnect or ring close.
+func (r *Ring) Unsubscribe(sub *RingSub) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.subs[sub]; ok {
+		delete(r.subs, sub)
+		close(sub.Ch)
+	}
+}
+
+// Close disconnects every subscriber and drops future emissions.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for sub := range r.subs {
+		delete(r.subs, sub)
+		close(sub.Ch)
+	}
+}

@@ -1,0 +1,171 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidation(t *testing.T) {
+	good := `[
+		{"name": "sla-floor", "metric": "sla_pct", "min": 95},
+		{"name": "power-budget", "metric": "watts", "max": 5000,
+		 "short_window_s": 600, "long_window_s": 7200, "budget": 0.05}
+	]`
+	objs, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Name != "sla-floor" || objs[1].Budget != 0.05 {
+		t.Fatalf("parsed = %+v", objs)
+	}
+
+	bad := []struct {
+		name, doc, wantErr string
+	}{
+		{"not json", `{`, "parsing"},
+		{"missing name", `[{"metric": "watts", "max": 1}]`, "needs a name"},
+		{"missing metric", `[{"name": "x", "max": 1}]`, "needs a metric"},
+		{"no bound", `[{"name": "x", "metric": "watts"}]`, "min floor or a max ceiling"},
+		{"max below min", `[{"name": "x", "metric": "watts", "min": 10, "max": 5}]`, "below min"},
+		{"negative window", `[{"name": "x", "metric": "watts", "max": 1, "short_window_s": -60}]`, "negative window"},
+		{"short over long", `[{"name": "x", "metric": "watts", "max": 1, "short_window_s": 7200, "long_window_s": 600}]`, "exceeds long window"},
+		{"budget over 1", `[{"name": "x", "metric": "watts", "max": 1, "budget": 2}]`, "outside [0, 1]"},
+		{"duplicate", `[{"name": "x", "metric": "watts", "max": 1}, {"name": "x", "metric": "kwh", "max": 2}]`, "duplicate"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tc.doc)); err == nil {
+				t.Fatalf("accepted %s", tc.doc)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// drive feeds the engine one observation per tick second from t0.
+func drive(e *Engine, t0 float64, ticks int, step float64, value float64) float64 {
+	t := t0
+	for i := 0; i < ticks; i++ {
+		t = t0 + float64(i)*step
+		e.Observe(t, func(string) (float64, bool) { return value, true })
+	}
+	return t
+}
+
+// TestBurnRateFiresAndClears drives the canonical power-budget episode
+// deterministically: good ticks keep the alert ok, a sustained
+// violation fires it once both windows burn over budget, and a
+// recovered short window clears it while the transition counters
+// remember the episode.
+func TestBurnRateFiresAndClears(t *testing.T) {
+	obj := Objective{
+		Name: "power-budget", Metric: "watts", Max: 100,
+		ShortWindow: 300, LongWindow: 1200, Budget: 0.1,
+	}
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine([]Objective{obj})
+
+	// Within budget: never fires.
+	last := drive(e, 0, 20, 60, 50)
+	a := e.Alerts()[0]
+	if a.State != "ok" || a.ShortBurn != 0 || a.FiredTotal != 0 {
+		t.Fatalf("healthy run alert = %+v", a)
+	}
+
+	// Sustained violation: short AND long burn exceed 1 → fires once.
+	last = drive(e, last+60, 20, 60, 500)
+	a = e.Alerts()[0]
+	if a.State != "firing" || a.FiredTotal != 1 {
+		t.Fatalf("sustained violation alert = %+v", a)
+	}
+	if a.ShortBurn <= 1 || a.LongBurn <= 1 {
+		t.Fatalf("firing with burns %.2f/%.2f, want both > 1", a.ShortBurn, a.LongBurn)
+	}
+	if a.Since == 0 {
+		t.Fatal("firing alert has no since timestamp")
+	}
+	if e.Firing() != 1 {
+		t.Fatalf("Firing = %d", e.Firing())
+	}
+
+	// Staying violated keeps one episode: no re-fire while firing.
+	last = drive(e, last+60, 5, 60, 500)
+	if a = e.Alerts()[0]; a.FiredTotal != 1 {
+		t.Fatalf("re-fired mid-episode: %+v", a)
+	}
+
+	// Recovery: once the short window's violated fraction falls under
+	// budget the alert clears, even while the long window still burns.
+	drive(e, last+60, 10, 60, 50)
+	a = e.Alerts()[0]
+	if a.State != "firing" && a.ClearedTotal != 1 {
+		t.Fatalf("expected a clear transition, got %+v", a)
+	}
+	if a.State == "firing" {
+		t.Fatalf("short window recovered but alert still firing: %+v", a)
+	}
+	if a.FiredTotal != 1 || a.ClearedTotal != 1 || a.Since != 0 {
+		t.Fatalf("post-episode counters = %+v", a)
+	}
+	if e.Firing() != 0 {
+		t.Fatalf("Firing = %d after clear", e.Firing())
+	}
+}
+
+// TestBurnRateShortSpikeDoesNotFire: one bad tick inside an otherwise
+// healthy hour trips the short window but not the long one, so the
+// two-window rule holds the alert ok.
+func TestBurnRateShortSpikeDoesNotFire(t *testing.T) {
+	obj := Objective{
+		Name: "sla-floor", Metric: "sla_pct", Min: 95,
+		ShortWindow: 120, LongWindow: 3600, Budget: 0.05,
+	}
+	e := NewEngine([]Objective{obj})
+	last := drive(e, 0, 50, 60, 100)
+	e.Observe(last+60, func(string) (float64, bool) { return 40, true }) // one bad tick
+	a := e.Alerts()[0]
+	if a.State != "ok" || a.FiredTotal != 0 {
+		t.Fatalf("single spike fired the alert: %+v", a)
+	}
+	if a.ShortBurn <= 1 {
+		t.Fatalf("short burn %.2f, want > 1 (spike fills the short window)", a.ShortBurn)
+	}
+	if a.LongBurn > 1 {
+		t.Fatalf("long burn %.2f, want <= 1", a.LongBurn)
+	}
+}
+
+// TestEngineSkipsUnresolvedMetrics: a metric the resolver cannot
+// supply (admit_p99_seconds before any admissions) leaves the
+// objective untouched instead of feeding it zeros.
+func TestEngineSkipsUnresolvedMetrics(t *testing.T) {
+	e := NewEngine([]Objective{{Name: "p99", Metric: "admit_p99_seconds", Max: 0.5}})
+	for i := 0; i < 10; i++ {
+		e.Observe(float64(i*60), func(string) (float64, bool) { return 0, false })
+	}
+	a := e.Alerts()[0]
+	if a.State != "ok" || a.ShortBurn != 0 || a.LongBurn != 0 {
+		t.Fatalf("unresolved metric moved the alert: %+v", a)
+	}
+}
+
+// TestEngineDeterminism: two engines fed the identical observation
+// stream report identical alert structs — the property the fleet twin
+// tests lean on.
+func TestEngineDeterminism(t *testing.T) {
+	objs := []Objective{{Name: "w", Metric: "watts", Max: 100, ShortWindow: 300, LongWindow: 900, Budget: 0.1}}
+	e1, e2 := NewEngine(objs), NewEngine(objs)
+	vals := []float64{50, 150, 150, 150, 150, 150, 40, 40, 40, 40, 40, 40}
+	for i, v := range vals {
+		t1 := float64(i * 60)
+		e1.Observe(t1, func(string) (float64, bool) { return v, true })
+		e2.Observe(t1, func(string) (float64, bool) { return v, true })
+	}
+	a1, a2 := e1.Alerts(), e2.Alerts()
+	if len(a1) != 1 || a1[0] != a2[0] {
+		t.Fatalf("twin engines diverged:\n%+v\n%+v", a1, a2)
+	}
+}

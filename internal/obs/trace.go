@@ -166,45 +166,27 @@ type TraceSink interface {
 // TraceEvent is one ring entry: the sequence number and the
 // pre-marshaled RoundTrace JSON, ready for the API to serve without
 // re-encoding.
-type TraceEvent struct {
-	Seq  uint64
-	Data []byte
-}
-
-// traceSubBuffer is each tail subscriber's channel depth; a consumer
-// lagging further is disconnected, mirroring the event broker's
-// slow-consumer contract.
-const traceSubBuffer = 64
+type TraceEvent = RingEvent
 
 // TraceSub is one SSE tail consumer's view of the trace stream. Ch is
 // closed when the consumer falls too far behind or the ring closes.
-type TraceSub struct {
-	Ch chan TraceEvent
-}
+type TraceSub = RingSub
 
 // TraceRing is a bounded ring of round traces with SSE-style tail
 // subscriptions: the per-fleet decision log behind GET /trace. It
 // implements TraceSink; Emit assigns sequence numbers, marshals once
-// and fans out. Safe for one writer (the fleet's event loop) and any
-// number of concurrent readers.
+// and fans out via the generic Ring. Safe for one writer (the fleet's
+// event loop) and any number of concurrent readers.
 type TraceRing struct {
-	mu      sync.Mutex
-	verb    Verbosity
-	closed  bool
-	nextSeq uint64
-	ring    []TraceEvent // circular; oldest entry at head once full
-	head    int
-	ringCap int
-	subs    map[*TraceSub]struct{}
+	mu   sync.Mutex
+	verb Verbosity
+	ring *Ring
 }
 
 // NewTraceRing builds a ring holding the last depth rounds (default
 // 256 when depth <= 0) at the given verbosity.
 func NewTraceRing(verb Verbosity, depth int) *TraceRing {
-	if depth <= 0 {
-		depth = 256
-	}
-	return &TraceRing{verb: verb, ringCap: depth, subs: make(map[*TraceSub]struct{})}
+	return &TraceRing{verb: verb, ring: NewRing(depth)}
 }
 
 // Verbosity returns the ring's recording level.
@@ -224,99 +206,33 @@ func (r *TraceRing) SetVerbosity(v Verbosity) {
 // Emit assigns the next sequence number, stores the trace in the ring
 // and forwards it to every live subscriber.
 func (r *TraceRing) Emit(rt RoundTrace) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return
-	}
-	r.nextSeq++
-	rt.Seq = r.nextSeq
-	data, err := json.Marshal(rt)
-	if err != nil {
-		return // plain structs; cannot happen
-	}
-	ev := TraceEvent{Seq: rt.Seq, Data: data}
-	if len(r.ring) < r.ringCap {
-		r.ring = append(r.ring, ev)
-	} else {
-		r.ring[r.head] = ev
-		r.head = (r.head + 1) % r.ringCap
-	}
-	for sub := range r.subs {
-		select {
-		case sub.Ch <- ev:
-		default:
-			// Slow tail consumer: cut it loose so tracing never
-			// backpressures the event loop.
-			delete(r.subs, sub)
-			close(sub.Ch)
+	r.ring.Emit(func(seq uint64) []byte {
+		rt.Seq = seq
+		data, err := json.Marshal(rt)
+		if err != nil {
+			return nil // plain structs; cannot happen
 		}
-	}
+		return data
+	})
 }
 
 // Seq returns the sequence number of the most recent trace.
-func (r *TraceRing) Seq() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.nextSeq
-}
+func (r *TraceRing) Seq() uint64 { return r.ring.Seq() }
 
 // Snapshot returns the retained traces with sequence number > since,
 // oldest first.
-func (r *TraceRing) Snapshot(since uint64) []TraceEvent {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.backlogLocked(since)
-}
-
-func (r *TraceRing) backlogLocked(since uint64) []TraceEvent {
-	var out []TraceEvent
-	for i := 0; i < len(r.ring); i++ {
-		ev := r.ring[(r.head+i)%len(r.ring)] // oldest first
-		if ev.Seq > since {
-			out = append(out, ev)
-		}
-	}
-	return out
-}
+func (r *TraceRing) Snapshot(since uint64) []TraceEvent { return r.ring.Snapshot(since) }
 
 // Subscribe registers a tail consumer and returns it along with the
 // backlog of retained traces with sequence number > since. Registering
 // and snapshotting under one lock makes the hand-off gapless.
 func (r *TraceRing) Subscribe(since uint64) (*TraceSub, []TraceEvent) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	backlog := r.backlogLocked(since)
-	sub := &TraceSub{Ch: make(chan TraceEvent, traceSubBuffer)}
-	if r.closed {
-		close(sub.Ch)
-		return sub, backlog
-	}
-	r.subs[sub] = struct{}{}
-	return sub, backlog
+	return r.ring.Subscribe(since)
 }
 
 // Unsubscribe removes the subscriber; safe after a slow-consumer
 // disconnect or ring close.
-func (r *TraceRing) Unsubscribe(sub *TraceSub) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.subs[sub]; ok {
-		delete(r.subs, sub)
-		close(sub.Ch)
-	}
-}
+func (r *TraceRing) Unsubscribe(sub *TraceSub) { r.ring.Unsubscribe(sub) }
 
 // Close disconnects every subscriber and drops future emissions.
-func (r *TraceRing) Close() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return
-	}
-	r.closed = true
-	for sub := range r.subs {
-		delete(r.subs, sub)
-		close(sub.Ch)
-	}
-}
+func (r *TraceRing) Close() { r.ring.Close() }

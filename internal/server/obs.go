@@ -147,7 +147,7 @@ func (s *Server) tailTrace(w http.ResponseWriter, r *http.Request, f *fleet.Flee
 	}
 	fl.Flush()
 
-	heartbeat := time.NewTicker(heartbeatInterval)
+	heartbeat := time.NewTicker(s.heartbeat())
 	defer heartbeat.Stop()
 	for {
 		select {

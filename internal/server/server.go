@@ -31,6 +31,7 @@ import (
 	"energysched/internal/fleet"
 	"energysched/internal/metrics"
 	"energysched/internal/obs"
+	"energysched/internal/obs/slo"
 	"energysched/internal/replication"
 )
 
@@ -121,6 +122,19 @@ type Config struct {
 	// TraceDepth is how many round traces each fleet retains for
 	// GET /trace (0 = default 256).
 	TraceDepth int
+	// SeriesDepth is how many accounting samples each fleet retains
+	// for GET /series (0 = default 4096). Pure observability — any
+	// depth leaves scheduling byte-identical.
+	SeriesDepth int
+	// JourneyDepth is how many job lifecycle journeys each fleet
+	// retains for GET /jobs/{id}/journey (0 = default 2048).
+	JourneyDepth int
+	// SLOs are the declarative service-level objectives every fleet
+	// evaluates (the -slo-file flag); nil disables SLO alerting.
+	SLOs []slo.Objective
+	// SSEHeartbeat overrides the keepalive ping period of idle SSE
+	// streams (events, trace, journey firehose); 0 = default 15s.
+	SSEHeartbeat time.Duration
 	// Logf, when non-nil, receives daemon log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -287,6 +301,9 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 		WALSync:           s.cfg.WALSync,
 		TraceVerbosity:    s.cfg.TraceVerbosity,
 		TraceDepth:        s.cfg.TraceDepth,
+		SeriesDepth:       s.cfg.SeriesDepth,
+		JourneyDepth:      s.cfg.JourneyDepth,
+		SLOs:              s.cfg.SLOs,
 		Logf:              s.cfg.Logf,
 	}
 	if id != DefaultFleet {
@@ -329,6 +346,12 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 	}
 	if spec.TraceDepth > 0 {
 		fc.TraceDepth = spec.TraceDepth
+	}
+	if spec.SeriesDepth > 0 {
+		fc.SeriesDepth = spec.SeriesDepth
+	}
+	if spec.JourneyDepth > 0 {
+		fc.JourneyDepth = spec.JourneyDepth
 	}
 	return fc
 }
@@ -431,7 +454,16 @@ func (s *Server) routes() {
 		// verbosity knob.
 		s.mux.HandleFunc("GET "+p+"/trace", s.handleTrace)
 		s.mux.HandleFunc("POST "+p+"/trace/verbosity", s.handleTraceVerbosity)
+		// Accounting (PR 9): the energy/SLA time-series and the job
+		// lifecycle journeys.
+		s.mux.HandleFunc("GET "+p+"/series", s.handleSeries)
+		s.mux.HandleFunc("GET "+p+"/journeys", s.handleJourneys)
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/journey", s.handleJourney)
 	}
+	// SLO burn-rate alerts: daemon-wide at /v1/alerts (every fleet's
+	// objectives), fleet-scoped under the fleet prefix.
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /v1/fleets/{fleet}/alerts", s.handleAlerts)
 	// Replication & failover (PR 6).
 	s.mux.HandleFunc("GET /v1/fleets/{fleet}/replicate", s.handleReplicate)
 	s.mux.HandleFunc("GET /v1/fleets/{fleet}/status", s.handleFleetStatus)
@@ -865,6 +897,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Role: s.Role(), Fleets: s.mgr.Len(),
 		Version: obs.BuildVersion(), Revision: obs.BuildRevision(),
 	}
+	for _, f := range s.mgr.List() {
+		h.AlertsFiring += f.AlertsFiring()
+	}
 	s.roleMu.Lock()
 	fw := s.follower
 	s.roleMu.Unlock()
@@ -962,6 +997,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // heartbeatInterval keeps idle SSE connections alive through proxies.
 const heartbeatInterval = 15 * time.Second
 
+// heartbeat returns the configured SSE keepalive period (the -sse-ping
+// flag), shared by the event, trace and journey streams. Short values
+// let tests exercise idle-stream pings without 15s waits.
+func (s *Server) heartbeat() time.Duration {
+	if s.cfg.SSEHeartbeat > 0 {
+		return s.cfg.SSEHeartbeat
+	}
+	return heartbeatInterval
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	f, err := s.fleetFor(r)
 	if err != nil {
@@ -993,7 +1038,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
-	heartbeat := time.NewTicker(heartbeatInterval)
+	heartbeat := time.NewTicker(s.heartbeat())
 	defer heartbeat.Stop()
 	for {
 		select {

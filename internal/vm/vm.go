@@ -131,6 +131,13 @@ type VM struct {
 	// Checkpoint is the progress value captured by the last
 	// checkpoint (0 = none); recovery resumes from here.
 	Checkpoint float64
+	// EnergyKWh is the host energy attributed to this VM by the
+	// datacenter harness (when energy attribution is enabled): each
+	// accrual interval's node energy split across the hosted VMs by
+	// allocation share. Write-only observability — nothing in the
+	// scheduling path reads it, and like Progress it does not bump the
+	// epoch.
+	EnergyKWh float64
 
 	// Epoch counts placement- and demand-relevant mutations of this VM
 	// (lifecycle transitions, host changes, requirement updates). The
