@@ -257,17 +257,26 @@ func (c *Client) JourneyTail(ctx context.Context, since uint64, fn func(ev Journ
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	event := ""
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, "data:") {
-			continue
-		}
-		var ev JourneyEvent
-		if err := json.Unmarshal([]byte(strings.TrimSpace(line[5:])), &ev); err != nil {
-			return fmt.Errorf("energysched: decoding journey step: %w", err)
-		}
-		if err := fn(ev); err != nil {
-			return err
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			data := strings.TrimSpace(line[5:])
+			if event == "gap" {
+				// The requested resume point was evicted; resuming here
+				// would silently skip steps. Terminal: re-sync instead.
+				return parseSSEGap(data)
+			}
+			var ev JourneyEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return fmt.Errorf("energysched: decoding journey step: %w", err)
+			}
+			if err := fn(ev); err != nil {
+				return err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {

@@ -170,6 +170,19 @@ type FleetSpec struct {
 	// JourneyDepth > 0 overrides how many job lifecycle journeys the
 	// fleet retains for GET /jobs/{id}/journey (default 2048).
 	JourneyDepth int `json:"journey_depth,omitempty"`
+	// AdmitShards > 0 overrides how many admission intake shards front
+	// the fleet's event loop (default 1). Reports, traces, journeys and
+	// series are byte-identical at any K — an ingest-throughput knob.
+	AdmitShards int `json:"admit_shards,omitempty"`
+	// AdmitQueue > 0 bounds each admission shard's queue (default 256);
+	// a full queue sheds submits with 429 + Retry-After.
+	AdmitQueue int `json:"admit_queue,omitempty"`
+	// RateLimit > 0 throttles the fleet's admissions to this many jobs
+	// per second; over-limit submits get 429 + Retry-After.
+	RateLimit float64 `json:"rate_limit,omitempty"`
+	// RateBurst > 0 sets the admission token bucket's capacity in jobs
+	// (default one second's worth of RateLimit).
+	RateBurst int `json:"rate_burst,omitempty"`
 }
 
 // WALStats describes a fleet's durable admission log (part of
@@ -381,6 +394,42 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("energyschedd: %s (http %d)", e.Message, e.Status)
 }
 
+// EventGap describes an SSE resume gap: the daemon evicted the events
+// between the requested resume point and the oldest it still retains.
+type EventGap struct {
+	// Requested is the sequence number the consumer resumed from
+	// (Last-Event-ID / ?since).
+	Requested uint64 `json:"requested"`
+	// Oldest is the oldest retained sequence number the stream
+	// continues with (0 when nothing is retained).
+	Oldest uint64 `json:"oldest"`
+}
+
+// GapError is returned by Events, TraceTail and JourneyTail when the
+// daemon signals that the requested resume point was evicted from its
+// ring: the stream is NOT contiguous with what the consumer saw
+// before. Re-sync from a snapshot (Report, TraceSnapshot, Journeys)
+// or restart the tail with since=0 instead of trusting the resumed
+// stream.
+type GapError struct {
+	Gap EventGap
+}
+
+// Error implements the error interface.
+func (e *GapError) Error() string {
+	return fmt.Sprintf("energyschedd: stream gap: events (%d, %d) evicted; re-sync from a snapshot",
+		e.Gap.Requested, e.Gap.Oldest)
+}
+
+// parseSSEGap decodes a gap event's payload into a GapError.
+func parseSSEGap(data string) error {
+	var g EventGap
+	if err := json.Unmarshal([]byte(data), &g); err != nil {
+		return fmt.Errorf("energysched: decoding gap event: %w", err)
+	}
+	return &GapError{Gap: g}
+}
+
 // Client talks to an energyschedd daemon. The zero prefix addresses
 // the PR 3 alias routes — i.e. the daemon's "default" fleet; Fleet
 // rebinds the same methods to a named fleet.
@@ -455,13 +504,25 @@ func retryableStatus(status int) bool {
 	return false
 }
 
-// parseRetryAfter decodes a Retry-After header (delta-seconds form).
+// parseRetryAfter decodes a Retry-After header. RFC 9110 §10.2.3
+// allows both forms: delta-seconds and an HTTP-date. Negative deltas
+// and past dates clamp to 0 (retry immediately) rather than being
+// ignored or going negative.
 func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
 	if h == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
 		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
 	}
 	return 0
 }
@@ -559,7 +620,17 @@ func (c *Client) attempt(ctx context.Context, method, path string, encoded []byt
 		// retryable unless the caller's own context is done.
 		return err, 0, ctx.Err() == nil
 	}
-	defer resp.Body.Close()
+	// Drain before closing: a body closed with unread bytes (the
+	// decoder's trailing newline, a retried 429/503's error payload)
+	// forces the transport to tear down the connection instead of
+	// returning it to the keep-alive pool — so a retry loop would open
+	// a fresh connection per attempt, exactly under the overload that
+	// triggers retries. The drain is capped; an implausibly large
+	// remainder is cheaper to abandon than to read.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode >= 400 {
 		apiErr := &APIError{Status: resp.StatusCode}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -569,8 +640,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, encoded []byt
 		return apiErr, parseRetryAfter(resp.Header.Get("Retry-After")), retryableStatus(resp.StatusCode)
 	}
 	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil, 0, false
+		return nil, 0, false // deferred drain consumes the body
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return err, 0, false
@@ -751,17 +821,26 @@ func (c *Client) TraceTail(ctx context.Context, since uint64, fn func(rt TraceRo
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	event := ""
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, "data:") {
-			continue
-		}
-		var rt TraceRound
-		if err := json.Unmarshal([]byte(strings.TrimSpace(line[5:])), &rt); err != nil {
-			return fmt.Errorf("energysched: decoding trace: %w", err)
-		}
-		if err := fn(rt); err != nil {
-			return err
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			data := strings.TrimSpace(line[5:])
+			if event == "gap" {
+				// The requested resume point was evicted; the tail would
+				// silently skip rounds. Terminal: let the caller re-sync.
+				return parseSSEGap(data)
+			}
+			var rt TraceRound
+			if err := json.Unmarshal([]byte(data), &rt); err != nil {
+				return fmt.Errorf("energysched: decoding trace: %w", err)
+			}
+			if err := fn(rt); err != nil {
+				return err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
@@ -796,14 +875,23 @@ func (c *Client) Events(ctx context.Context, since uint64, fn func(seq uint64, e
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64*1024), 64*1024)
 	var seq uint64
+	event := ""
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, "id:"):
 			seq, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
 		case strings.HasPrefix(line, "data:"):
+			data := strings.TrimSpace(line[5:])
+			if event == "gap" {
+				// The requested resume point was evicted; resuming here
+				// would silently skip events. Terminal: re-sync instead.
+				return parseSSEGap(data)
+			}
 			var e Event
-			if err := json.Unmarshal([]byte(strings.TrimSpace(line[5:])), &e); err != nil {
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
 				return fmt.Errorf("energysched: decoding event: %w", err)
 			}
 			if err := fn(seq, e); err != nil {

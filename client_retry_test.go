@@ -2,6 +2,7 @@ package energysched
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -206,13 +207,117 @@ func TestParseRetryAfter(t *testing.T) {
 		"0":       0,
 		"2":       2 * time.Second,
 		" 5 ":     5 * time.Second,
-		"-3":      0,
+		"-3":      0, // negative delta clamps to 0, not ignored
 		"garbage": 0,
 		"1.5":     0, // HTTP delta-seconds are integral
 	} {
 		if got := parseRetryAfter(h); got != want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
 		}
+	}
+}
+
+// TestParseRetryAfterHTTPDate: RFC 9110 §10.2.3 allows Retry-After to
+// be an HTTP-date; the client must honor it and clamp past dates to 0.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 3*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, want in (0, 3s]", got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Errorf("parseRetryAfter(past date) = %v, want 0 (clamped)", got)
+	}
+	// RFC 850 dates are also valid HTTP-dates; http.ParseTime covers
+	// every allowed format.
+	rfc850 := time.Now().Add(2 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT")
+	if got := parseRetryAfter(rfc850); got <= 0 || got > 2*time.Second {
+		t.Errorf("parseRetryAfter(rfc850 date) = %v, want in (0, 2s]", got)
+	}
+}
+
+// TestRetryAfterHTTPDateRoundTrip: a 503 whose Retry-After is an
+// HTTP-date must actually pace the retry loop, end to end.
+func TestRetryAfterHTTPDateRoundTrip(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"promoting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"role":"leader","ready":true}`))
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	start := time.Now()
+	hst, err := c.Health(context.Background())
+	if err != nil || hst.Role != "leader" {
+		t.Fatalf("retrying client: %+v, %v", hst, err)
+	}
+	// HTTP-dates have second granularity, so "now + 1s" renders between
+	// ~0 and 1s away; the backoff must have honored it rather than the
+	// millisecond policy delay alone. A generous floor avoids clock
+	// flakiness while still proving the date was parsed.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("retry ignored the HTTP-date Retry-After: total %v", elapsed)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("made %d attempts, want 2", got)
+	}
+}
+
+// TestRetryReusesConnection is the leak-detecting satellite test: the
+// client must drain and close every response body — retried 429/503s
+// with error payloads larger than the APIError's 64KB read cap, and
+// successful responses whose JSON decoder stops before the trailing
+// newline — so the transport returns connections to the keep-alive
+// pool. A leak shows up as one new dial per request.
+func TestRetryReusesConnection(t *testing.T) {
+	// Error bodies larger than the APIError path's 64KB cap: without
+	// the deferred drain, the remainder goes unread and the transport
+	// tears the connection down instead of reusing it.
+	pad := strings.Repeat("x", 100*1024)
+	var calls int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"` + pad + `"}`))
+			return
+		}
+		w.Write([]byte(`{"role":"leader","ready":true}` + "\n"))
+	}))
+	defer hs.Close()
+
+	var dials int32
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			atomic.AddInt32(&dials, 1)
+			return (&net.Dialer{}).DialContext(ctx, network, addr)
+		},
+	}
+	defer tr.CloseIdleConnections()
+
+	c := NewClient(hs.URL)
+	c.HTTPClient = &http.Client{Transport: tr}
+	c.Retry = &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	hst, err := c.Health(context.Background())
+	if err != nil || hst.Role != "leader" {
+		t.Fatalf("retrying client: %+v, %v", hst, err)
+	}
+	// A second successful call exercises the decoder path: its body
+	// ends in a newline json.Decoder never consumes.
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 4 {
+		t.Fatalf("made %d requests, want 4", got)
+	}
+	if got := atomic.LoadInt32(&dials); got != 1 {
+		t.Fatalf("%d connections dialed across 4 requests, want 1 (leaked bodies defeat keep-alive)", got)
 	}
 }
 

@@ -15,8 +15,10 @@
 //
 // Submitters allocate strictly increasing virtual submit times from a
 // shared counter, so most jobs admit cleanly; losing the watermark
-// race yields a 409, which is counted separately, not as an error.
-// The target fleet is never sealed — drain it yourself when done.
+// race yields a 409, and a rate-limited or queue-saturated fleet sheds
+// with 429 — both counted separately, not as errors (backpressure is
+// the daemon working, not failing). The target fleet is never sealed —
+// drain it yourself when done.
 package main
 
 import (
@@ -47,6 +49,7 @@ type config struct {
 // firehose consumption of the tailer workers.
 type stats struct {
 	accepted, conflicts, submitErrs atomic.Int64
+	throttled                       atomic.Int64
 	polls, pollErrs                 atomic.Int64
 	steps, tailErrs                 atomic.Int64
 	submit, poll                    metrics.Histogram
@@ -82,6 +85,10 @@ func run(ctx context.Context, client *energysched.Client, cfg config) *stats {
 					st.accepted.Add(1)
 				case errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict:
 					st.conflicts.Add(1)
+				case errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests:
+					// Backpressure working as designed (rate limit or full
+					// admission queue), not a daemon failure.
+					st.throttled.Add(1)
 				default:
 					st.submitErrs.Add(1)
 				}
@@ -140,8 +147,8 @@ func run(ctx context.Context, client *energysched.Client, cfg config) *stats {
 // render prints the run summary: counters plus the latency quantiles
 // of both request paths.
 func (st *stats) render(w io.Writer) {
-	fmt.Fprintf(w, "submit: %d accepted, %d conflicts (watermark races), %d errors\n",
-		st.accepted.Load(), st.conflicts.Load(), st.submitErrs.Load())
+	fmt.Fprintf(w, "submit: %d accepted, %d conflicts (watermark races), %d throttled (429), %d errors\n",
+		st.accepted.Load(), st.conflicts.Load(), st.throttled.Load(), st.submitErrs.Load())
 	fmt.Fprintf(w, "        %s\n", latencyLine(&st.submit))
 	fmt.Fprintf(w, "report: %d polls, %d errors\n", st.polls.Load(), st.pollErrs.Load())
 	fmt.Fprintf(w, "        %s\n", latencyLine(&st.poll))
@@ -165,6 +172,7 @@ type pathJSON struct {
 type runJSON struct {
 	Submit    pathJSON `json:"submit"`
 	Conflicts int64    `json:"conflicts"`
+	Throttled int64    `json:"throttled"`
 	Report    pathJSON `json:"report"`
 	Steps     int64    `json:"journey_steps"`
 	TailErrs  int64    `json:"tail_errors"`
@@ -190,6 +198,7 @@ func (st *stats) renderJSON(w io.Writer) error {
 	out := runJSON{
 		Submit:    pathJSON{Count: st.accepted.Load(), Errors: st.submitErrs.Load()},
 		Conflicts: st.conflicts.Load(),
+		Throttled: st.throttled.Load(),
 		Report:    pathJSON{Count: st.polls.Load(), Errors: st.pollErrs.Load()},
 		Steps:     st.steps.Load(),
 		TailErrs:  st.tailErrs.Load(),

@@ -106,8 +106,9 @@ func (f *Fleet) JourneySnapshot(since uint64) []obs.RingEvent {
 }
 
 // JourneySubscribe attaches a firehose tail consumer, gapless with the
-// returned backlog. Release it with JourneyUnsubscribe.
-func (f *Fleet) JourneySubscribe(since uint64) (*obs.RingSub, []obs.RingEvent) {
+// returned backlog; the third result reports whether the resume point
+// was evicted (gap). Release it with JourneyUnsubscribe.
+func (f *Fleet) JourneySubscribe(since uint64) (*obs.RingSub, []obs.RingEvent, bool) {
 	return f.journeys.Subscribe(since)
 }
 

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"energysched"
+)
+
+// benchAdmitRouter measures concurrent admission throughput through
+// the K-sharded intake path: each iteration pushes a fixed burst of
+// jobs from 8 submitters through a fresh fleet's shard queues, merge
+// channel and arbiter into the event loop. The K axis isolates the
+// intake fan-in; the work per job (WAL off, in-memory sim) is
+// constant, so the delta between K values is pure router overhead or
+// relief.
+func benchAdmitRouter(b *testing.B, k int) {
+	const submitters, perSubmitter = 8, 128
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := Open("bench", Config{Policy: "SB", Seed: 1, AdmitShards: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for j := 0; j < perSubmitter; j++ {
+					if _, err := f.Submit(energysched.JobSpec{
+						CPU: 100 + float64((g+j)%3)*100, Mem: 5, Duration: 600,
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		f.Close()
+	}
+	b.ReportMetric(float64(submitters*perSubmitter), "jobs/iter")
+}
+
+func BenchmarkAdmitRouterK1(b *testing.B) { benchAdmitRouter(b, 1) }
+func BenchmarkAdmitRouterK2(b *testing.B) { benchAdmitRouter(b, 2) }
+func BenchmarkAdmitRouterK4(b *testing.B) { benchAdmitRouter(b, 4) }

@@ -92,8 +92,12 @@ func (b *Broker) publish(e datacenter.Event) {
 }
 
 // Subscribe registers a new subscriber and returns it along with the
-// backlog of ring events with sequence number > since, oldest first.
-func (b *Broker) Subscribe(since uint64) (*Subscriber, []StreamEvent) {
+// backlog of ring events with sequence number > since, oldest first,
+// plus whether resuming from since skips events already evicted from
+// the ring — the HTTP layer signals that gap to the consumer instead
+// of silently resuming at the tail (also after a restore, which keeps
+// nextSeq but clears the ring).
+func (b *Broker) Subscribe(since uint64) (*Subscriber, []StreamEvent, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var backlog []StreamEvent
@@ -103,13 +107,24 @@ func (b *Broker) Subscribe(since uint64) (*Subscriber, []StreamEvent) {
 			backlog = append(backlog, ev)
 		}
 	}
+	gap := false
+	if since > 0 && since < b.nextSeq {
+		switch {
+		case len(b.ring) == 0:
+			gap = true
+		case len(b.ring) == b.ringCap:
+			gap = b.ring[b.head].Seq > since+1
+		default:
+			gap = b.ring[0].Seq > since+1
+		}
+	}
 	sub := &Subscriber{Ch: make(chan StreamEvent, subBuffer)}
 	if b.closed {
 		close(sub.Ch)
-		return sub, backlog
+		return sub, backlog, gap
 	}
 	b.subs[sub] = struct{}{}
-	return sub, backlog
+	return sub, backlog, gap
 }
 
 // Unsubscribe removes the subscriber; safe to call after a

@@ -105,6 +105,22 @@ type Config struct {
 	// the accounting series at every tick (nil = no SLO engine). Must
 	// be pre-validated (slo.Parse does).
 	SLOs []slo.Objective
+	// AdmitShards is how many admission intake shards front the event
+	// loop (default 1). Requests are hash-partitioned across shards by
+	// ingest sequence and merged back deterministically, so reports,
+	// traces, journeys and series are byte-identical at any K — a pure
+	// ingest-throughput knob, like Shards is for the solver.
+	AdmitShards int
+	// AdmitQueue bounds each admission shard's queue (default 256).
+	// A full queue sheds with 429 + Retry-After instead of blocking.
+	AdmitQueue int
+	// RateLimit throttles admission to this many jobs per second via a
+	// token bucket (0 = unlimited). Over-limit requests are shed with
+	// 429 + Retry-After before they touch the WAL or the event loop.
+	RateLimit float64
+	// RateBurst is the token bucket's capacity in jobs (default one
+	// second's worth of RateLimit, at least 1).
+	RateBurst int
 	// Logf, when non-nil, receives fleet log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -124,6 +140,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WALSync == "" {
 		c.WALSync = SyncAlways
+	}
+	if c.AdmitShards <= 0 {
+		c.AdmitShards = 1
+	}
+	if c.AdmitQueue <= 0 {
+		c.AdmitQueue = 256
 	}
 	return c
 }
@@ -190,6 +212,7 @@ type Fleet struct {
 	series   *series.Store
 	journeys *obs.JourneyStore
 	sloEng   *slo.Engine // nil without objectives
+	router   *admitRouter
 
 	cmds     chan func()
 	stopc    chan struct{}
@@ -250,6 +273,7 @@ func Open(id string, cfg Config) (*Fleet, error) {
 	f.wallStart = time.Now()
 	f.wg.Add(1)
 	go f.loop()
+	f.router = newAdmitRouter(f)
 	return f, nil
 }
 
@@ -357,6 +381,9 @@ func (f *Fleet) Broker() *Broker { return f.broker }
 func (f *Fleet) Close() {
 	f.stopOnce.Do(func() { close(f.stopc) })
 	f.wg.Wait()
+	if f.router != nil {
+		f.router.stop()
+	}
 	f.broker.close()
 	f.repl.close()
 	f.ring.Close()
@@ -513,15 +540,13 @@ func (f *Fleet) rebuild(jobs []workload.Job, now float64, sealed bool) error {
 
 // --- admission ---
 
-// Submit admits one job.
+// Submit admits one job through the admission router: rate-limited,
+// shard-queued, merge-arbitrated (shard.go). Over-limit and
+// full-queue requests come back as 429 fleet.Errors with Retry-After.
 func (f *Fleet) Submit(spec energysched.JobSpec) (energysched.JobStatus, error) {
-	var out []energysched.JobStatus
-	var serr error
-	if err := f.do(func() { out, serr = f.admit([]energysched.JobSpec{spec}) }); err != nil {
+	out, err := f.router.submit([]energysched.JobSpec{spec})
+	if err != nil {
 		return energysched.JobStatus{}, err
-	}
-	if serr != nil {
-		return energysched.JobStatus{}, serr
 	}
 	return out[0], nil
 }
@@ -530,8 +555,17 @@ func (f *Fleet) Submit(spec energysched.JobSpec) (energysched.JobStatus, error) 
 // single event-loop turn: either every job is admitted or none is,
 // and virtual time does not advance between the batch's admissions —
 // which makes a batch at max pacing byte-identical to submitting the
-// same jobs sequentially.
+// same jobs sequentially. Batches ride the admission router like
+// Submit, so rate limits and queue bounds apply.
 func (f *Fleet) SubmitBatch(specs []energysched.JobSpec) ([]energysched.JobStatus, error) {
+	return f.router.submit(specs)
+}
+
+// submitDirect admits a batch on the event loop, bypassing the
+// admission router: no rate limit, no shard queue. Bulk internal
+// loads (SubmitSource) use it so replaying a trace into a
+// rate-limited fleet is not throttled like external traffic.
+func (f *Fleet) submitDirect(specs []energysched.JobSpec) ([]energysched.JobStatus, error) {
 	var out []energysched.JobStatus
 	var serr error
 	if err := f.do(func() { out, serr = f.admit(specs) }); err != nil {
@@ -559,7 +593,7 @@ func (f *Fleet) SubmitSource(src workload.JobSource, batchSize int) (int, error)
 		if len(batch) == 0 {
 			return nil
 		}
-		if _, err := f.SubmitBatch(batch); err != nil {
+		if _, err := f.submitDirect(batch); err != nil {
 			return err
 		}
 		total += len(batch)
@@ -1177,6 +1211,7 @@ func (f *Fleet) gatherMetrics() []metrics.PromSample {
 		Name: "energysched_trace_rounds_total", Help: "Solver round traces recorded in the trace ring.",
 		Kind: metrics.PromCounter, Value: float64(f.ring.Seq()),
 	})
+	samples = f.router.metricsSamples(samples)
 	samples = f.accountingSamples(samples)
 	samples = f.hists.samples(samples)
 	return samples

@@ -78,6 +78,10 @@ type manifestConfig struct {
 	WALSync          string  `json:"wal_sync,omitempty"`
 	TraceVerbosity   string  `json:"trace_verbosity,omitempty"`
 	TraceDepth       int     `json:"trace_depth,omitempty"`
+	AdmitShards      int     `json:"admit_shards,omitempty"`
+	AdmitQueue       int     `json:"admit_queue,omitempty"`
+	RateLimit        float64 `json:"rate_limit,omitempty"`
+	RateBurst        int     `json:"rate_burst,omitempty"`
 }
 
 func toManifestConfig(c Config) manifestConfig {
@@ -100,6 +104,10 @@ func toManifestConfig(c Config) manifestConfig {
 		WALSync:          c.WALSync,
 		TraceVerbosity:   c.TraceVerbosity,
 		TraceDepth:       c.TraceDepth,
+		AdmitShards:      c.AdmitShards,
+		AdmitQueue:       c.AdmitQueue,
+		RateLimit:        c.RateLimit,
+		RateBurst:        c.RateBurst,
 	}
 	if c.Score != nil {
 		mc.HasScore = true
@@ -128,6 +136,10 @@ func (mc manifestConfig) config() Config {
 		WALSync:           mc.WALSync,
 		TraceVerbosity:    mc.TraceVerbosity,
 		TraceDepth:        mc.TraceDepth,
+		AdmitShards:       mc.AdmitShards,
+		AdmitQueue:        mc.AdmitQueue,
+		RateLimit:         mc.RateLimit,
+		RateBurst:         mc.RateBurst,
 	}
 	if mc.HasScore {
 		c.Score = &energysched.ScoreParams{Cempty: mc.Cempty, Cfill: mc.Cfill, THempty: mc.THempty}

@@ -109,9 +109,10 @@ func (f *Fleet) TraceSnapshot(since uint64) []obs.TraceEvent {
 }
 
 // TraceSubscribe registers a trace tail consumer and returns it with
-// the gapless backlog since the given sequence number. Release it with
+// the gapless backlog since the given sequence number, plus whether
+// that resume point was evicted (gap). Release it with
 // TraceUnsubscribe.
-func (f *Fleet) TraceSubscribe(since uint64) (*obs.TraceSub, []obs.TraceEvent) {
+func (f *Fleet) TraceSubscribe(since uint64) (*obs.TraceSub, []obs.TraceEvent, bool) {
 	return f.ring.Subscribe(since)
 }
 

@@ -22,7 +22,7 @@ func TestFleetTraceRing(t *testing.T) {
 	}
 	defer f.Close()
 
-	sub, backlog := f.TraceSubscribe(0)
+	sub, backlog, _ := f.TraceSubscribe(0)
 	defer f.TraceUnsubscribe(sub)
 	if len(backlog) != 0 {
 		t.Fatalf("fresh fleet has %d backlog traces", len(backlog))

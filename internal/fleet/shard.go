@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"energysched"
+	"energysched/internal/metrics"
+)
+
+// Intra-fleet admission sharding and ingest backpressure (PR 10).
+//
+// A fleet's event loop serializes everything, which is what makes the
+// simulation deterministic — but it also means one hot fleet absorbs
+// ingest exactly as fast as one goroutine can hand requests through
+// do(). The admission router in this file puts K intake loops in
+// front of that event loop: incoming requests are hash-partitioned
+// across K bounded shard queues (clusterFor), each shard forwards
+// independently, and a single merge arbiter applies everything that is
+// concurrently in flight in one event-loop turn, in a deterministic
+// order (earliest submit time first, ingest sequence as the tie
+// break). Sequential submitters therefore see exactly the K=1 order —
+// reports, traces, journeys and series stay byte-identical at any
+// shard count — while N concurrent submitters amortize their do()
+// hand-offs into a single turn.
+//
+// The same entry point is where ingest hygiene lives: an optional
+// token-bucket rate limit (Config.RateLimit/RateBurst) and the bounded
+// shard queues both shed with 429 + Retry-After through fleet.Error
+// instead of queueing without bound. A shed request was never
+// admitted, never logged, and never acknowledged — zero accepted jobs
+// are dropped under overload.
+
+// clusterFor returns the admission shard for a request identifier by
+// hashing it onto [0, k): the flow-go cluster-assignment idiom, using
+// the 64-bit finalizer so consecutive ingest sequence numbers spread
+// across shards instead of striping.
+func clusterFor(id uint64, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	id ^= id >> 33
+	id *= 0xff51afd7ed558ccd
+	id ^= id >> 33
+	id *= 0xc4ceb9fe1a85ec53
+	id ^= id >> 33
+	return int(id % uint64(k))
+}
+
+// tokenBucket is a wall-clock token bucket: take withdraws tokens for
+// a batch, refilling at rate tokens/second up to burst.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns nil when rate <= 0 (unlimited). A burst <= 0
+// defaults to one second's worth of tokens (at least 1), so a full
+// bucket always admits at least one job.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Ceil(rate)
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// take withdraws n tokens. A batch larger than the burst is admitted
+// whenever the bucket is full — the bucket goes into debt and later
+// requests wait it out — so a single oversized batch cannot be
+// rejected forever. On refusal it returns the Retry-After hint in
+// whole seconds (>= 1).
+func (tb *tokenBucket) take(n int) (retryAfter int, ok bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens = math.Min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+	tb.last = now
+	need := float64(n)
+	if need > tb.burst {
+		need = tb.burst
+	}
+	if tb.tokens >= need {
+		tb.tokens -= float64(n)
+		return 0, true
+	}
+	ra := int(math.Ceil((need - tb.tokens) / tb.rate))
+	if ra < 1 {
+		ra = 1
+	}
+	return ra, false
+}
+
+// admitRequest is one Submit/SubmitBatch in flight through the router.
+type admitRequest struct {
+	specs []energysched.JobSpec
+	// seq is the monotone ingest sequence: the hash-partition input and
+	// the arbiter's tie break.
+	seq uint64
+	// submit is the arbiter's primary sort key: the batch's first
+	// submit time, -Inf for a nil-Submit ("now") request.
+	submit float64
+	// reply is buffered (capacity 1) so the arbiter never blocks on a
+	// submitter that already gave up.
+	reply chan admitReply
+}
+
+type admitReply struct {
+	out []energysched.JobStatus
+	err error
+}
+
+// arbiterKey derives a request's merge-order sort key. Batch submit
+// times are validated non-decreasing, so the first spec carries the
+// batch's earliest time; a nil Submit means "the current virtual now",
+// which must order before any explicit future submit or applying the
+// future batch first would advance the clock past it (max pacing) and
+// manufacture a spurious 409.
+func arbiterKey(specs []energysched.JobSpec) float64 {
+	if len(specs) == 0 || specs[0].Submit == nil {
+		return math.Inf(-1)
+	}
+	return *specs[0].Submit
+}
+
+// maxMergeTurn bounds how many requests one arbiter turn applies, so a
+// firehose of concurrent submitters cannot starve the event loop's
+// other callers (reads, pacing ticks) indefinitely.
+const maxMergeTurn = 64
+
+// admitRouter is the sharded admission front end of one fleet.
+type admitRouter struct {
+	f        *Fleet
+	queues   []chan *admitRequest
+	merge    chan *admitRequest
+	bucket   *tokenBucket // nil = unlimited
+	seq      atomic.Uint64
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	shedRate   atomic.Uint64 // requests rejected by the token bucket
+	shedQueue  atomic.Uint64 // requests rejected by a full shard queue
+	mergeTurns atomic.Uint64 // event-loop turns the arbiter executed
+	merged     atomic.Uint64 // requests applied across those turns
+}
+
+func newAdmitRouter(f *Fleet) *admitRouter {
+	k := f.cfg.AdmitShards
+	r := &admitRouter{
+		f:      f,
+		queues: make([]chan *admitRequest, k),
+		merge:  make(chan *admitRequest, k),
+		bucket: newTokenBucket(f.cfg.RateLimit, f.cfg.RateBurst),
+		stopc:  make(chan struct{}),
+	}
+	for i := range r.queues {
+		r.queues[i] = make(chan *admitRequest, f.cfg.AdmitQueue)
+	}
+	r.wg.Add(k + 1)
+	for i := 0; i < k; i++ {
+		go r.shardLoop(i)
+	}
+	go r.arbiterLoop()
+	return r
+}
+
+// submit runs one request through rate limiting, shard queueing and
+// the merge arbiter, and waits for the event loop's answer.
+func (r *admitRouter) submit(specs []energysched.JobSpec) ([]energysched.JobStatus, error) {
+	if r.bucket != nil && len(specs) > 0 {
+		if ra, ok := r.bucket.take(len(specs)); !ok {
+			r.shedRate.Add(1)
+			return nil, &Error{Status: http.StatusTooManyRequests,
+				Msg: "admission rate limit exceeded", RetryAfter: ra}
+		}
+	}
+	req := &admitRequest{
+		specs:  specs,
+		seq:    r.seq.Add(1),
+		submit: arbiterKey(specs),
+		reply:  make(chan admitReply, 1),
+	}
+	q := r.queues[clusterFor(req.seq, len(r.queues))]
+	select {
+	case q <- req:
+	default:
+		r.shedQueue.Add(1)
+		return nil, &Error{Status: http.StatusTooManyRequests,
+			Msg: "admission shard queue full", RetryAfter: 1}
+	}
+	select {
+	case rep := <-req.reply:
+		return rep.out, rep.err
+	case <-r.f.stopc:
+		return nil, ErrClosed
+	}
+}
+
+// shardLoop is one intake shard: it drains its bounded queue into the
+// merge channel. The hop looks trivial, but it is what makes the queue
+// bound (and so the 429 shed decision) per-shard instead of global.
+func (r *admitRouter) shardLoop(i int) {
+	defer r.wg.Done()
+	for {
+		select {
+		case req := <-r.queues[i]:
+			select {
+			case r.merge <- req:
+			case <-r.stopc:
+				req.reply <- admitReply{err: ErrClosed}
+				return
+			}
+		case <-r.stopc:
+			return
+		}
+	}
+}
+
+// arbiterLoop merges the shards back into the event loop: every batch
+// of concurrently-ready requests is applied in one do() turn, in
+// deterministic order.
+func (r *admitRouter) arbiterLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case first := <-r.merge:
+			r.applyTurn(first)
+		case <-r.stopc:
+			return
+		}
+	}
+}
+
+func (r *admitRouter) applyTurn(first *admitRequest) {
+	batch := []*admitRequest{first}
+gather:
+	for len(batch) < maxMergeTurn {
+		select {
+		case req := <-r.merge:
+			batch = append(batch, req)
+		default:
+			break gather
+		}
+	}
+	// Deterministic arbitration: earliest submit time first, ingest
+	// sequence as the tie break. Under max pacing, applying a
+	// later-submit request first would advance virtual time past an
+	// earlier-submit one and reject it with a 409 that K=1 sequential
+	// submission would never produce.
+	sort.Slice(batch, func(a, b int) bool {
+		if batch[a].submit != batch[b].submit {
+			return batch[a].submit < batch[b].submit
+		}
+		return batch[a].seq < batch[b].seq
+	})
+	r.mergeTurns.Add(1)
+	r.merged.Add(uint64(len(batch)))
+	// Both reply sends below are non-blocking: when the fleet closes
+	// mid-turn, do() returns ErrClosed while fn may still be running on
+	// the event loop, so the turn and the fallback can race to answer
+	// the same request — the buffered channel takes the first, the
+	// select/default drops the loser, and the submitter is already gone
+	// on ErrClosed anyway.
+	err := r.f.do(func() {
+		for _, req := range batch {
+			out, aerr := r.f.admit(req.specs)
+			select {
+			case req.reply <- admitReply{out: out, err: aerr}:
+			default:
+			}
+		}
+	})
+	if err != nil {
+		for _, req := range batch {
+			select {
+			case req.reply <- admitReply{err: err}:
+			default:
+			}
+		}
+	}
+}
+
+// stop terminates the shard loops and the arbiter; idempotent, like
+// every other close path Fleet.Close touches. Callers must have closed
+// the fleet's stopc first so in-flight do() turns unblock.
+func (r *admitRouter) stop() {
+	r.stopOnce.Do(func() { close(r.stopc) })
+	r.wg.Wait()
+}
+
+// metricsSamples appends the router's Prometheus samples: per-shard
+// queue depth, shed counters by reason, and merge-turn amortization.
+func (r *admitRouter) metricsSamples(in []metrics.PromSample) []metrics.PromSample {
+	for i, q := range r.queues {
+		in = append(in, metrics.PromSample{
+			Name: "energysched_admit_queue_depth", Help: "Requests waiting in each admission shard's bounded queue.",
+			Kind: metrics.PromGauge, Labels: map[string]string{"shard": strconv.Itoa(i)}, Value: float64(len(q)),
+		})
+	}
+	in = append(in,
+		metrics.PromSample{Name: "energysched_admit_shards", Help: "Admission intake shards serving this fleet.",
+			Kind: metrics.PromGauge, Value: float64(len(r.queues))},
+		metrics.PromSample{Name: "energysched_admit_queue_capacity", Help: "Bounded depth of each admission shard queue.",
+			Kind: metrics.PromGauge, Value: float64(r.f.cfg.AdmitQueue)},
+		metrics.PromSample{Name: "energysched_admit_shed_total", Help: "Admission requests shed with 429 by reason.",
+			Kind: metrics.PromCounter, Labels: map[string]string{"reason": "rate"}, Value: float64(r.shedRate.Load())},
+		metrics.PromSample{Name: "energysched_admit_shed_total", Help: "Admission requests shed with 429 by reason.",
+			Kind: metrics.PromCounter, Labels: map[string]string{"reason": "queue"}, Value: float64(r.shedQueue.Load())},
+		metrics.PromSample{Name: "energysched_admit_merge_turns_total", Help: "Event-loop turns executed by the admission merge arbiter.",
+			Kind: metrics.PromCounter, Value: float64(r.mergeTurns.Load())},
+		metrics.PromSample{Name: "energysched_admit_merged_requests_total", Help: "Admission requests applied across arbiter merge turns.",
+			Kind: metrics.PromCounter, Value: float64(r.merged.Load())},
+	)
+	return in
+}

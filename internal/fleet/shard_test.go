@@ -1,0 +1,329 @@
+package fleet
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"energysched"
+)
+
+// The admission router contract: K shards are a pure ingest-throughput
+// knob (byte-identical reports at any K), the rate limit and the
+// bounded shard queues shed with honest 429 + Retry-After, and no
+// accepted job is ever dropped under concurrency.
+
+func TestClusterForPartition(t *testing.T) {
+	// k=1 is the identity shard.
+	for id := uint64(0); id < 100; id++ {
+		if got := clusterFor(id, 1); got != 0 {
+			t.Fatalf("clusterFor(%d, 1) = %d, want 0", id, got)
+		}
+	}
+	// The finalizer must be deterministic, in range, and actually
+	// spread consecutive sequence numbers over every shard.
+	const k = 4
+	var hit [k]int
+	for id := uint64(1); id <= 1000; id++ {
+		s := clusterFor(id, k)
+		if s < 0 || s >= k {
+			t.Fatalf("clusterFor(%d, %d) = %d out of range", id, k, s)
+		}
+		if s != clusterFor(id, k) {
+			t.Fatalf("clusterFor(%d, %d) is not deterministic", id, k)
+		}
+		hit[s]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Fatalf("shard %d never hit across 1000 consecutive ids: %v", s, hit)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	if tb := newTokenBucket(0, 10); tb != nil {
+		t.Fatal("rate 0 should disable the bucket")
+	}
+	tb := newTokenBucket(10, 5)
+	if ra, ok := tb.take(5); !ok || ra != 0 {
+		t.Fatalf("full bucket refused a burst-sized batch (ra=%d ok=%v)", ra, ok)
+	}
+	ra, ok := tb.take(1)
+	if ok {
+		t.Fatal("empty bucket admitted a job")
+	}
+	if ra < 1 {
+		t.Fatalf("refusal carried Retry-After %d, want >= 1", ra)
+	}
+	// Refill: at 10 jobs/sec, 300ms buys ~3 tokens.
+	time.Sleep(300 * time.Millisecond)
+	if _, ok := tb.take(1); !ok {
+		t.Fatal("bucket did not refill")
+	}
+}
+
+func TestTokenBucketOversizedBatchGoesIntoDebt(t *testing.T) {
+	tb := newTokenBucket(10, 5)
+	// A batch larger than the burst admits against a full bucket (need
+	// capped at burst) instead of being rejected forever...
+	if _, ok := tb.take(20); !ok {
+		t.Fatal("full bucket rejected an oversized batch")
+	}
+	// ...and the resulting debt throttles what follows.
+	if _, ok := tb.take(1); ok {
+		t.Fatal("bucket admitted straight after an oversized batch")
+	}
+}
+
+// TestRateLimitShedsWith429: a rate-limited fleet sheds over-limit
+// submits with a 429 fleet.Error carrying a Retry-After hint, and the
+// shed counter surfaces on the metrics samples.
+func TestRateLimitShedsWith429(t *testing.T) {
+	f, err := Open("rl", Config{Policy: "SB", Seed: 1, RateLimit: 5, RateBurst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	submitN(t, f, 2, 0) // drains the burst
+	at := 2.0 * 30
+	_, serr := f.Submit(energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600, Submit: &at})
+	var fe *Error
+	if !errors.As(serr, &fe) || fe.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit error = %v, want a 429 fleet.Error", serr)
+	}
+	if fe.RetryAfter < 1 {
+		t.Fatalf("429 carried Retry-After %d, want >= 1", fe.RetryAfter)
+	}
+	if f.router.shedRate.Load() == 0 {
+		t.Fatal("rate shed not counted")
+	}
+	// The shed job was never admitted: the fleet still holds exactly
+	// the acknowledged two.
+	info, err := f.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs != 2 {
+		t.Fatalf("fleet holds %d jobs after a shed, want 2", info.Jobs)
+	}
+}
+
+// TestAdmitQueueShedsWith429: with the event loop wedged, a bounded
+// shard queue fills and further submits shed with 429 instead of
+// queueing without bound.
+func TestAdmitQueueShedsWith429(t *testing.T) {
+	f, err := Open("bq", Config{Policy: "SB", Seed: 1, AdmitShards: 1, AdmitQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Wedge the event loop so the arbiter cannot drain: queued requests
+	// pile up in the (depth-1) shard queue.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go f.do(func() { close(started); <-gate })
+	<-started
+
+	// Capacity while wedged: 1 in the arbiter's hand, 1 in the merge
+	// buffer, 1 in the shard queue. The rest must shed.
+	const inflight = 8
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := f.Submit(energysched.JobSpec{CPU: 100, Mem: 5, Duration: 600})
+			errs <- err
+		}()
+	}
+	deadline := time.After(10 * time.Second)
+	for shed.Load() == 0 {
+		select {
+		case err := <-errs:
+			var fe *Error
+			if errors.As(err, &fe) && fe.Status == http.StatusTooManyRequests {
+				if fe.RetryAfter != 1 {
+					t.Errorf("queue-full 429 carried Retry-After %d, want 1", fe.RetryAfter)
+				}
+				shed.Add(1)
+			}
+		case <-deadline:
+			t.Fatal("no queue-full 429 within 10s of wedging the event loop")
+		}
+	}
+	close(gate) // unwedge; the remaining submits complete normally
+	wg.Wait()
+	if f.router.shedQueue.Load() == 0 {
+		t.Fatal("queue shed not counted")
+	}
+}
+
+// TestShardedAdmissionByteIdenticalToK1: the tentpole oracle at the
+// fleet level — the same submit sequence through K∈{2,4} admission
+// shards drains byte-identical to K=1.
+func TestShardedAdmissionByteIdenticalToK1(t *testing.T) {
+	run := func(k int) energysched.ServiceReport {
+		f, err := Open("k", Config{Policy: "SB", Seed: 1, AdmitShards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		submitN(t, f, 120, 0)
+		rep, err := f.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	want := run(1)
+	for _, k := range []int{2, 4} {
+		if got := run(k); got != want {
+			t.Fatalf("K=%d drained report diverged from K=1:\n got %+v\nwant %+v", k, got, want)
+		}
+	}
+}
+
+// TestConcurrentShardedSubmitDropsNothing: N goroutines hammering a
+// K=4 fleet with nil-Submit jobs — every acknowledged admission must
+// land (zero dropped accepted jobs), across every shard.
+func TestConcurrentShardedSubmitDropsNothing(t *testing.T) {
+	f, err := Open("cc", Config{Policy: "SB", Seed: 1, AdmitShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// nil Submit = "virtual now": always admissible, so every
+				// acknowledgment is an accepted job.
+				_, err := f.Submit(energysched.JobSpec{
+					CPU: 100 + float64((g+i)%3)*100, Mem: 5, Duration: 600,
+				})
+				if err != nil {
+					t.Errorf("worker %d submit %d: %v", g, i, err)
+					return
+				}
+				accepted.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	info, err := f.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(info.Jobs) != accepted.Load() || accepted.Load() != workers*perWorker {
+		t.Fatalf("fleet holds %d jobs, %d acknowledged, %d submitted — accepted jobs were dropped",
+			info.Jobs, accepted.Load(), workers*perWorker)
+	}
+	if f.router.merged.Load() < workers*perWorker {
+		t.Fatalf("arbiter merged %d requests, want >= %d", f.router.merged.Load(), workers*perWorker)
+	}
+}
+
+// TestShardFaultMidBatchStaysAtomicAndByteIdentical is the satellite
+// fault-coverage test: with K=4 admission shards, a WAL disk-full
+// fault lands on one request's batch while requests on other shards
+// succeed. The faulted batch must reject atomically (no partial
+// admission), and a kill/reopen must recover byte-identical to a K=1
+// fleet fed only the surviving batches.
+func TestShardFaultMidBatchStaysAtomicAndByteIdentical(t *testing.T) {
+	dir := t.TempDir() + "/f"
+	var syncs atomic.Int64
+	const faultOn = 3 // fail the 3rd batch's WAL flush (one flush per request)
+	cfg := testConfig(dir)
+	cfg.AdmitShards = 4
+	cfg.WALFault = func(op string) error {
+		if op == "sync" && syncs.Add(1) == faultOn {
+			return errors.New("no space left on device")
+		}
+		return nil
+	}
+	f, err := Open("f", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Five 3-job batches with increasing submit times; sequential, so
+	// the ingest sequence (and the flush order) is deterministic and
+	// batch 3 — and only batch 3 — hits the fault whatever shard its
+	// hash picks.
+	batch := func(from int) []energysched.JobSpec {
+		specs := make([]energysched.JobSpec, 3)
+		for i := range specs {
+			at := float64(from+i) * 30
+			specs[i] = energysched.JobSpec{
+				CPU: 100 + float64((from+i)%3)*100, Mem: 5, Duration: 600, Submit: &at,
+			}
+		}
+		return specs
+	}
+	var survived [][]energysched.JobSpec
+	for b := 0; b < 5; b++ {
+		specs := batch(b * 3)
+		_, err := f.SubmitBatch(specs)
+		if b == faultOn-1 {
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Status != http.StatusInternalServerError {
+				t.Fatalf("faulted batch error = %v, want a 500", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		survived = append(survived, specs)
+	}
+	// Atomicity: 4 surviving batches of 3 — none of the faulted batch's
+	// jobs leaked in.
+	info, err := f.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs != 12 {
+		t.Fatalf("fleet holds %d jobs after the mid-batch fault, want 12", info.Jobs)
+	}
+	f.Close()
+
+	// Kill/reopen recovery must be byte-identical to a K=1 in-memory
+	// fleet fed only the surviving batches.
+	f2, err := Open("f", testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := f2.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Open("ref", Config{Policy: "SB", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, specs := range survived {
+		if _, err := ref.SubmitBatch(specs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-fault recovery diverged from the surviving batches:\n got %+v\nwant %+v", got, want)
+	}
+}

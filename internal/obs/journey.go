@@ -222,8 +222,9 @@ func (s *JourneyStore) Seq() uint64 { return s.fire.Seq() }
 func (s *JourneyStore) Snapshot(since uint64) []RingEvent { return s.fire.Snapshot(since) }
 
 // Subscribe attaches a firehose tail consumer (gapless with the
-// returned backlog).
-func (s *JourneyStore) Subscribe(since uint64) (*RingSub, []RingEvent) {
+// returned backlog); the third result reports whether resuming from
+// since skips evicted steps (gap).
+func (s *JourneyStore) Subscribe(since uint64) (*RingSub, []RingEvent, bool) {
 	return s.fire.Subscribe(since)
 }
 

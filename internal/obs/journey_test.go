@@ -122,7 +122,7 @@ func TestJourneyStagedWhyScores(t *testing.T) {
 func TestJourneyFirehose(t *testing.T) {
 	s := NewJourneyStore(4, 16)
 	defer s.Close()
-	sub, backlog := s.Subscribe(0)
+	sub, backlog, _ := s.Subscribe(0)
 	defer s.Unsubscribe(sub)
 	if len(backlog) != 0 {
 		t.Fatalf("fresh store has backlog of %d", len(backlog))

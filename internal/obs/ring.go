@@ -110,20 +110,42 @@ func (r *Ring) backlogLocked(since uint64) []RingEvent {
 	return out
 }
 
+// gapLocked reports whether a resume from since would skip evicted
+// events: since names a past sequence number whose successor is no
+// longer retained. A fresh tail (since 0) or a future/current since is
+// never a gap.
+func (r *Ring) gapLocked(since uint64) bool {
+	if since == 0 || since >= r.nextSeq {
+		return false
+	}
+	if len(r.ring) == 0 {
+		return true
+	}
+	oldest := r.ring[0].Seq
+	if len(r.ring) == r.ringCap {
+		oldest = r.ring[r.head].Seq
+	}
+	return oldest > since+1
+}
+
 // Subscribe registers a tail consumer and returns it along with the
-// backlog of retained events with sequence number > since. Registering
-// and snapshotting under one lock makes the hand-off gapless.
-func (r *Ring) Subscribe(since uint64) (*RingSub, []RingEvent) {
+// backlog of retained events with sequence number > since, and whether
+// resuming from since skips evicted events (gap) — callers surface
+// that to the consumer instead of silently resuming at the tail.
+// Registering and snapshotting under one lock makes the hand-off
+// gapless.
+func (r *Ring) Subscribe(since uint64) (*RingSub, []RingEvent, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	backlog := r.backlogLocked(since)
+	gap := r.gapLocked(since)
 	sub := &RingSub{Ch: make(chan RingEvent, ringSubBuffer)}
 	if r.closed {
 		close(sub.Ch)
-		return sub, backlog
+		return sub, backlog, gap
 	}
 	r.subs[sub] = struct{}{}
-	return sub, backlog
+	return sub, backlog, gap
 }
 
 // Unsubscribe removes the subscriber; safe after a slow-consumer

@@ -224,9 +224,10 @@ func (r *TraceRing) Seq() uint64 { return r.ring.Seq() }
 func (r *TraceRing) Snapshot(since uint64) []TraceEvent { return r.ring.Snapshot(since) }
 
 // Subscribe registers a tail consumer and returns it along with the
-// backlog of retained traces with sequence number > since. Registering
-// and snapshotting under one lock makes the hand-off gapless.
-func (r *TraceRing) Subscribe(since uint64) (*TraceSub, []TraceEvent) {
+// backlog of retained traces with sequence number > since, and whether
+// resuming from since skips evicted traces (gap). Registering and
+// snapshotting under one lock makes the hand-off gapless.
+func (r *TraceRing) Subscribe(since uint64) (*TraceSub, []TraceEvent, bool) {
 	return r.ring.Subscribe(since)
 }
 

@@ -98,7 +98,7 @@ func TestTraceRingConcurrentReaders(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sub, backlog := r.Subscribe(0)
+			sub, backlog, _ := r.Subscribe(0)
 			defer r.Unsubscribe(sub)
 			var prev uint64
 			for _, ev := range backlog {
@@ -142,7 +142,7 @@ func TestTraceRingConcurrentReaders(t *testing.T) {
 	if got := r.Seq(); got != rounds {
 		t.Fatalf("post-close emit advanced seq to %d", got)
 	}
-	sub, _ := r.Subscribe(0)
+	sub, _, _ := r.Subscribe(0)
 	if _, ok := <-sub.Ch; ok {
 		t.Fatal("subscription on closed ring not closed")
 	}

@@ -70,7 +70,12 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, &fleet.Error{Status: http.StatusBadRequest, Msg: err.Error()})
 		return
 	}
-	samples := f.SeriesSamples(q)
+	// Coalesce on fleet + raw query: concurrent identical series GETs
+	// share one store read and one downsample pass.
+	got, _ := s.reads.do("series", f.ID()+"\x00"+r.URL.RawQuery, func() (interface{}, error) {
+		return f.SeriesSamples(q), nil
+	})
+	samples := got.([]series.Sample)
 	if q.Format == "csv" {
 		writeSeriesCSV(w, q, samples)
 		return
@@ -168,7 +173,7 @@ func (s *Server) tailJourneys(w http.ResponseWriter, r *http.Request, f *fleet.F
 		writeErr(w, &fleet.Error{Status: http.StatusInternalServerError, Msg: "streaming unsupported"})
 		return
 	}
-	sub, backlog := f.JourneySubscribe(since)
+	sub, backlog, gap := f.JourneySubscribe(since)
 	defer f.JourneyUnsubscribe(sub)
 
 	h := w.Header()
@@ -176,6 +181,9 @@ func (s *Server) tailJourneys(w http.ResponseWriter, r *http.Request, f *fleet.F
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
+	if gap {
+		writeSSEGap(w, since, oldestSeq(len(backlog), func(i int) uint64 { return backlog[i].Seq }))
+	}
 	for _, ev := range backlog {
 		writeJourneySSE(w, ev)
 	}

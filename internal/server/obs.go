@@ -134,7 +134,7 @@ func (s *Server) tailTrace(w http.ResponseWriter, r *http.Request, f *fleet.Flee
 		writeErr(w, &fleet.Error{Status: http.StatusInternalServerError, Msg: "streaming unsupported"})
 		return
 	}
-	sub, backlog := f.TraceSubscribe(since)
+	sub, backlog, gap := f.TraceSubscribe(since)
 	defer f.TraceUnsubscribe(sub)
 
 	h := w.Header()
@@ -142,6 +142,9 @@ func (s *Server) tailTrace(w http.ResponseWriter, r *http.Request, f *fleet.Flee
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
+	if gap {
+		writeSSEGap(w, since, oldestSeq(len(backlog), func(i int) uint64 { return backlog[i].Seq }))
+	}
 	for _, ev := range backlog {
 		writeTraceSSE(w, ev)
 	}

@@ -135,6 +135,19 @@ type Config struct {
 	// SSEHeartbeat overrides the keepalive ping period of idle SSE
 	// streams (events, trace, journey firehose); 0 = default 15s.
 	SSEHeartbeat time.Duration
+	// AdmitShards is each fleet's admission intake shard count
+	// (0 = default 1). Byte-identical at any K; a pure ingest-throughput
+	// knob. Fleets inherit it unless their FleetSpec overrides.
+	AdmitShards int
+	// AdmitQueue bounds each admission shard's queue (0 = default 256);
+	// a full queue sheds with 429 + Retry-After.
+	AdmitQueue int
+	// RateLimit throttles each fleet's admissions to this many jobs per
+	// second (0 = unlimited); over-limit submits get 429 + Retry-After.
+	RateLimit float64
+	// RateBurst is the admission token bucket's capacity in jobs
+	// (0 = one second's worth of RateLimit).
+	RateBurst int
 	// Logf, when non-nil, receives daemon log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -172,6 +185,10 @@ type Server struct {
 	// httpHists is the per-route request latency aggregation behind
 	// energysched_http_request_seconds.
 	httpHists routeHists
+
+	// reads coalesces concurrent identical GETs on the hot read
+	// endpoints (/report, /cluster, /series) into one fleet turn.
+	reads readGroup
 }
 
 // New builds a daemon: it opens the fleet registry (recovering every
@@ -304,6 +321,10 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 		SeriesDepth:       s.cfg.SeriesDepth,
 		JourneyDepth:      s.cfg.JourneyDepth,
 		SLOs:              s.cfg.SLOs,
+		AdmitShards:       s.cfg.AdmitShards,
+		AdmitQueue:        s.cfg.AdmitQueue,
+		RateLimit:         s.cfg.RateLimit,
+		RateBurst:         s.cfg.RateBurst,
 		Logf:              s.cfg.Logf,
 	}
 	if id != DefaultFleet {
@@ -352,6 +373,18 @@ func (s *Server) fleetConfig(id string, spec energysched.FleetSpec) fleet.Config
 	}
 	if spec.JourneyDepth > 0 {
 		fc.JourneyDepth = spec.JourneyDepth
+	}
+	if spec.AdmitShards > 0 {
+		fc.AdmitShards = spec.AdmitShards
+	}
+	if spec.AdmitQueue > 0 {
+		fc.AdmitQueue = spec.AdmitQueue
+	}
+	if spec.RateLimit > 0 {
+		fc.RateLimit = spec.RateLimit
+	}
+	if spec.RateBurst > 0 {
+		fc.RateBurst = spec.RateBurst
 	}
 	return fc
 }
@@ -511,6 +544,11 @@ func (s *Server) handleFleetCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if spec.AdmitShards < 0 || spec.AdmitQueue < 0 || spec.RateLimit < 0 || spec.RateBurst < 0 {
+		writeErr(w, &fleet.Error{Status: http.StatusBadRequest,
+			Msg: "admit_shards, admit_queue, rate_limit and rate_burst must be >= 0"})
+		return
+	}
 	f, err := s.mgr.Create(spec.ID, s.fleetConfig(spec.ID, spec))
 	if err != nil {
 		writeErr(w, err)
@@ -649,7 +687,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	st, err := f.Cluster()
+	st, err := s.reads.do("cluster", f.ID(), func() (interface{}, error) {
+		return f.Cluster()
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -663,7 +703,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	rep, err := f.Report()
+	rep, err := s.reads.do("report", f.ID(), func() (interface{}, error) {
+		return f.Report()
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -834,9 +876,29 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 			}
 			fl.Flush()
 		case <-ping.C:
+			// Read the clock BEFORE draining: a ping's Now must never
+			// overtake a record still queued in the session. Records
+			// published before this read carry an older Now and are
+			// flushed first; records published after it carry a newer
+			// one, so following the ping cannot rewind the mirror's
+			// clock past their submit times. (A ping that did overtake
+			// would advance the mirror beyond a queued record's admit
+			// clock, the inject would fail, and the mirror would wedge
+			// read-only.)
 			_, head, now, err := f.ReplState()
 			if err != nil {
 				return
+			}
+			for len(sess.Ch) > 0 {
+				rec, ok := <-sess.Ch
+				if !ok {
+					return
+				}
+				if !send(replication.Frame{
+					Kind: replication.KindRecord, Offset: rec.Offset, Now: rec.Now, Record: rec.Data,
+				}) {
+					return
+				}
 			}
 			if !send(replication.Frame{Kind: replication.KindPing, Head: head, Now: now}) {
 				return
@@ -961,7 +1023,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		sets = append(sets, lags, fw.MetricsSamples())
 	}
-	sets = append(sets, s.httpHists.samples())
+	sets = append(sets, s.httpHists.samples(), s.reads.samples())
 	for _, f := range fleets {
 		samples, err := f.Metrics()
 		if err != nil {
@@ -1025,7 +1087,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		since, _ = strconv.ParseUint(v, 10, 64)
 	}
 	broker := f.Broker()
-	sub, backlog := broker.Subscribe(since)
+	sub, backlog, gap := broker.Subscribe(since)
 	defer broker.Unsubscribe(sub)
 
 	h := w.Header()
@@ -1033,6 +1095,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
+	if gap {
+		writeSSEGap(w, since, oldestSeq(len(backlog), func(i int) uint64 { return backlog[i].Seq }))
+	}
 	for _, ev := range backlog {
 		writeSSE(w, ev)
 	}
@@ -1066,4 +1131,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func writeSSE(w http.ResponseWriter, ev fleet.StreamEvent) {
 	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, ev.Data)
+}
+
+// oldestSeq extracts the first retained sequence number from a backlog
+// (0 when nothing is retained) for the gap event's "oldest" field.
+func oldestSeq(n int, seqAt func(int) uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return seqAt(0)
+}
+
+// writeSSEGap emits the explicit gap event every SSE endpoint sends
+// when a Last-Event-ID/?since resume point has been evicted from the
+// ring: consumers must not assume the stream is contiguous with what
+// they saw before — re-sync from a snapshot (or since=0) instead. The
+// event intentionally carries no id: line, so it never disturbs the
+// consumer's Last-Event-ID bookkeeping; the stream continues with the
+// retained tail after it.
+func writeSSEGap(w http.ResponseWriter, requested, oldest uint64) {
+	fmt.Fprintf(w, "event: gap\ndata: {\"requested\":%d,\"oldest\":%d}\n\n", requested, oldest)
 }
